@@ -1,0 +1,64 @@
+"""FIG3 — Figure 3: unfused (SuiteSparse-style) vs fused sequential runtime.
+
+Paper claim: operation fusion yields a 3.7× average improvement over the
+functionally-equivalent unfused GraphBLAS implementation, across graphs
+sorted by ascending node count.
+
+Run::
+
+    pytest benchmarks/bench_fig3_unfused_vs_fused.py --benchmark-only
+    REPRO_SUITE=paper pytest benchmarks/bench_fig3_unfused_vs_fused.py --benchmark-only
+
+The same series with the figure-shaped rendering: ``python -m repro fig3``.
+"""
+
+from __future__ import annotations
+
+from repro.sssp.fused import fused_delta_stepping
+from repro.sssp.graphblas_sssp import graphblas_delta_stepping
+
+
+def bench_unfused_graphblas(benchmark, workload):
+    """Fig. 3 series 'SuiteSparse' — one GraphBLAS call per algorithm step."""
+    benchmark.group = f"fig3:{workload.name}"
+    result = benchmark.pedantic(
+        lambda: graphblas_delta_stepping(workload.graph, workload.source, workload.delta),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert result.num_reached > 1
+
+
+def bench_fused(benchmark, workload):
+    """Fig. 3 series 'Fused C impl.' — fused kernels, no temporaries."""
+    benchmark.group = f"fig3:{workload.name}"
+    result = benchmark.pedantic(
+        lambda: fused_delta_stepping(workload.graph, workload.source, workload.delta),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert result.num_reached > 1
+
+
+def bench_fig3_speedup_summary(benchmark, workload):
+    """Convenience: measures the fused run and records the unfused/fused
+    ratio as extra info (the figure's headline series)."""
+    from repro.bench.timing import time_callable
+
+    unfused = time_callable(
+        lambda: graphblas_delta_stepping(workload.graph, workload.source, workload.delta),
+        repeats=2,
+    )
+    benchmark.group = f"fig3:{workload.name}"
+    result = benchmark.pedantic(
+        lambda: fused_delta_stepping(workload.graph, workload.source, workload.delta),
+        rounds=3,
+        iterations=1,
+    )
+    fused_best = benchmark.stats.stats.min
+    benchmark.extra_info["unfused_ms"] = unfused.best_ms
+    benchmark.extra_info["fused_speedup"] = unfused.best / fused_best
+    assert unfused.best / fused_best > 1.0, "fusion should win (paper: 3.7x avg)"
+    assert result.num_reached > 1

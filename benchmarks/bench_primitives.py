@@ -1,0 +1,100 @@
+"""ABL-PRIM — GraphBLAS primitive costs (why unfused composition hurts).
+
+§V.B/§VI.B's root cause: every filter is two ``GrB_apply`` calls and
+every step materializes a sparse temporary.  These micro-benchmarks
+measure the primitives delta-stepping composes — apply, masked apply,
+eWiseAdd, vxm — across operand sizes, quantifying the per-call overhead
+the fused implementation amortizes away.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphblas import (
+    FP64,
+    IDENTITY,
+    MIN,
+    MIN_PLUS,
+    Matrix,
+    REPLACE,
+    Vector,
+    apply,
+    ewise_add,
+    vxm,
+)
+from repro.graphblas.unaryop import range_filter
+
+SIZES = [1_000, 10_000, 100_000]
+
+
+def _dense_vector(n: int, seed: int = 0) -> Vector:
+    rng = np.random.default_rng(seed)
+    return Vector.from_dense(rng.random(n))
+
+
+def _random_matrix(n: int, nnz_per_row: int = 8, seed: int = 1) -> Matrix:
+    rng = np.random.default_rng(seed)
+    rows = np.repeat(np.arange(n), nnz_per_row)
+    cols = rng.integers(0, n, size=n * nnz_per_row)
+    vals = rng.random(n * nnz_per_row)
+    return Matrix.from_coo(rows, cols, vals, n, n)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def bench_apply_predicate(benchmark, n):
+    """First half of a filter: predicate apply."""
+    benchmark.group = f"primitives:n={n}"
+    v = _dense_vector(n)
+    out = Vector.new(FP64, n)
+    op = range_filter(0.25, 0.75)
+    benchmark(lambda: apply(out, op, v))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def bench_apply_masked_identity(benchmark, n):
+    """Second half of a filter: masked identity apply with REPLACE."""
+    benchmark.group = f"primitives:n={n}"
+    v = _dense_vector(n)
+    pred = Vector.new(FP64, n)
+    apply(pred, range_filter(0.25, 0.75), v)
+    out = Vector.new(FP64, n)
+    benchmark(lambda: apply(out, IDENTITY, v, mask=pred, desc=REPLACE))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def bench_ewise_add_min(benchmark, n):
+    """The per-phase ``t = min(t, tReq)`` merge."""
+    benchmark.group = f"primitives:n={n}"
+    a = _dense_vector(n, seed=2)
+    b = _dense_vector(n, seed=3)
+    out = Vector.new(FP64, n)
+    benchmark(lambda: ewise_add(out, MIN, a, b))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def bench_vxm_min_plus(benchmark, n):
+    """The relaxation kernel: vxm over (min, +), 10% dense frontier."""
+    benchmark.group = f"primitives:n={n}"
+    A = _random_matrix(n)
+    rng = np.random.default_rng(4)
+    idx = np.sort(rng.choice(n, size=max(1, n // 10), replace=False))
+    frontier = Vector.from_coo(idx, rng.random(len(idx)), n)
+    out = Vector.new(FP64, n)
+    benchmark(lambda: vxm(out, MIN_PLUS, frontier, A, desc=REPLACE))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def bench_fused_filter_equivalent(benchmark, n):
+    """What the two-call filter costs as one dense NumPy pass (the fused
+    floor the paper's direct C implementation approaches)."""
+    benchmark.group = f"primitives:n={n}"
+    rng = np.random.default_rng(5)
+    t = rng.random(n)
+
+    def run():
+        mask = (t >= 0.25) & (t < 0.75)
+        return t[mask]
+
+    benchmark(run)

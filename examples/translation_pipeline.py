@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""The paper's contribution, end to end: translate, lower, fuse, execute.
+
+Walks the two-step methodology on the delta-stepping worked example:
+
+1. the algorithm as *vertex/edge patterns* → linear-algebra IR
+   (``repro.ir.patterns`` / ``repro.ir.translate``, Fig. 1 left);
+2. IR → the unfused GraphBLAS call sequence (Fig. 2), printed;
+3. the §VI.B fusion rewrites applied mechanically, with the call-count
+   delta the paper attributes its 3.7x speedup to;
+4. both programs executed on a real graph through the interpreter, and
+   checked against Dijkstra.
+
+Run:  python examples/translation_pipeline.py
+"""
+
+from repro import datasets
+from repro.ir import (
+    GrBCall,
+    LoweredWhile,
+    count_calls,
+    delta_stepping_program,
+    fuse_program,
+    lower_program,
+    run_delta_stepping_ir,
+)
+from repro.sssp import dijkstra
+
+
+def show(calls, indent: int = 2) -> None:
+    for c in calls:
+        if isinstance(c, LoweredWhile):
+            print(" " * indent + f"while nvals({c.cond_name}) != 0:")
+            show(c.pre, indent + 4)
+            print(" " * (indent + 2) + "... loop body ...")
+            show(c.body, indent + 4)
+        elif isinstance(c, GrBCall) and c.fn not in ("declare", "set_scalar"):
+            fused = "  <-- fused" if c.fused_from else ""
+            print(" " * indent + repr(c) + fused)
+
+
+def main() -> None:
+    # Step 1+2: the translated program, lowered to GraphBLAS calls.
+    program = delta_stepping_program()
+    lowered = lower_program(program)
+    print("=== Unfused call sequence (the Fig. 2 structure) ===")
+    show(lowered.calls)
+    print(f"\nstatic GraphBLAS calls: {count_calls(lowered.calls)}")
+
+    # Step 3: mechanical fusion (§VI.B).
+    fused, report = fuse_program(lowered)
+    print("\n=== After fusion rewrites ===")
+    show(fused.calls)
+    print(f"\nstatic calls: {report.calls_before} -> {report.calls_after}")
+    print(f"  filter fusions (pred-apply + masked-identity -> select): {report.filters_fused}")
+    print(f"  Hadamard+vxm fusions (masked temp elided):               {report.masked_vxm_fused}")
+
+    # Step 4: execute both pipelines on a real graph.
+    graph = datasets.load("ci-road")
+    oracle = dijkstra(graph, 0)
+    unfused_run = run_delta_stepping_ir(graph, 0, 1.0, fuse=False)
+    fused_run = run_delta_stepping_ir(graph, 0, 1.0, fuse=True)
+    assert unfused_run.same_distances(oracle)
+    assert fused_run.same_distances(oracle)
+    print(f"\n=== Execution on {graph.name} ({graph.num_vertices} vertices) ===")
+    print(f"dynamic GraphBLAS calls, unfused: {unfused_run.extra['calls_executed']}")
+    print(f"dynamic GraphBLAS calls, fused:   {fused_run.extra['calls_executed']}")
+    print("distances identical to Dijkstra in both pipelines")
+    print("\ncall mix (unfused):", unfused_run.extra["calls_by_fn"])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Compatibility shim for offline environments.
+
+``pip install -e .`` needs the ``wheel`` package to build modern editables;
+on air-gapped machines without it, run either::
+
+    python setup.py develop
+
+or the dependency-free equivalent (what CI in this repo uses)::
+
+    python -c "import site, pathlib; pathlib.Path(site.getsitepackages()[0], 'repro-editable.pth').write_text(str(pathlib.Path('src').resolve()) + '\\n')"
+"""
+
+from setuptools import setup
+
+setup()

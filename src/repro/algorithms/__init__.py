@@ -1,0 +1,29 @@
+"""Further algorithms built with the paper's translation methodology.
+
+The paper argues its vertex/edge → linear-algebra patterns generalize
+beyond delta-stepping; this package carries the receipts, each algorithm
+annotated with the §II patterns it uses:
+
+- :func:`bfs_levels` — vertex-centric frontier expansion
+  (``ANY_PAIR`` vxm with complemented structural mask);
+- :func:`triangle_count` — edge-centric ``AᵀA ∘ A`` with fill-in
+  elimination (§II.C's k-truss example, specialized);
+- :func:`ktruss` — the full iterated edge filter from the paper's
+  reference [14];
+- :func:`connected_components` — label propagation over ``(min, 2nd)``;
+- :func:`pagerank` — rank distribution as ``vxm`` over ``(+, ×)``.
+"""
+
+from .bfs import bfs_levels, bfs_parents
+from .components import connected_components
+from .pagerank import pagerank
+from .triangles import ktruss, triangle_count
+
+__all__ = [
+    "bfs_levels",
+    "bfs_parents",
+    "triangle_count",
+    "ktruss",
+    "connected_components",
+    "pagerank",
+]

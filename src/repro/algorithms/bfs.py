@@ -1,0 +1,97 @@
+"""Breadth-first search in the language of linear algebra.
+
+The canonical vertex-centric BFS ("each frontier vertex marks its
+unvisited neighbours") translates with the paper's patterns:
+
+- frontier: a *set of vertices* → Boolean vector ``q`` (§II.D);
+- expansion: operation on outgoing edges of the frontier →
+  ``q' ⊕.⊗ A`` (§II.B), here over ``ANY_PAIR`` (reachability needs no
+  arithmetic);
+- "unvisited only": *filtering* (§II.E) with the **complemented**
+  structural mask of the level vector — the mask idiom delta-stepping
+  uses for buckets, inverted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphblas import operations as ops
+from ..graphblas.descriptor import Descriptor
+from ..graphblas.semiring import ANY_PAIR, MIN_FIRST
+from ..graphblas.types import BOOL, INT64
+from ..graphblas.vector import Vector
+from ..graphs.graph import Graph
+
+__all__ = ["bfs_levels", "bfs_parents"]
+
+#: complement + structural + replace: write only where the mask has *no* entry
+_PUSH_DESC = Descriptor(mask_complement=True, mask_structure=True, replace=True)
+
+
+def bfs_levels(graph: Graph, source: int) -> np.ndarray:
+    """BFS level per vertex (-1 = unreachable), GraphBLAS formulation."""
+    n = graph.num_vertices
+    if not 0 <= source < n:
+        raise IndexError(f"source {source} out of range [0, {n})")
+    A = graph.to_matrix()
+    levels = Vector.new(INT64, n)  # stored ⇒ visited, value = level
+    q = Vector.new(BOOL, n)
+    q.set_element(source, True)
+    depth = 0
+    while q.nvals:
+        # levels<struct(q)> = depth  (assign into the frontier)
+        ops.assign_scalar_vector(
+            levels, depth, indices=None, mask=q, desc=Descriptor(mask_structure=True)
+        )
+        # q<¬struct(levels), replace> = q ANY_PAIR A  (unvisited successors)
+        ops.vxm(q, ANY_PAIR, q, A, mask=levels, desc=_PUSH_DESC)
+        depth += 1
+    out = np.full(n, -1, dtype=np.int64)
+    idx, vals = levels.to_coo()
+    out[idx] = vals
+    return out
+
+
+def bfs_parents(graph: Graph, source: int) -> np.ndarray:
+    """BFS parent per vertex (-1 = unreachable/root), GraphBLAS formulation.
+
+    Uses the ``MIN_FIRST`` semiring so each discovered vertex records the
+    minimum-id frontier vertex that reached it (deterministic parents).
+    """
+    n = graph.num_vertices
+    if not 0 <= source < n:
+        raise IndexError(f"source {source} out of range [0, {n})")
+    A = graph.to_matrix()
+    parents = Vector.new(INT64, n)
+    parents.set_element(source, source)  # root points at itself
+    # frontier carries the *vertex ids* so FIRST propagates the parent id
+    q = Vector.new(INT64, n)
+    q.set_element(source, source)
+    while q.nvals:
+        # q<¬struct(parents), replace> = q MIN_FIRST A
+        ops.vxm(q, MIN_FIRST, q, A, mask=parents, desc=_PUSH_DESC)
+        if q.nvals == 0:
+            break
+        # parents<struct(q)> = q (record discoverers)
+        ops.apply(
+            parents,
+            _identity_int64(),
+            q,
+            mask=q,
+            desc=Descriptor(mask_structure=True),
+        )
+        # next frontier carries its own ids
+        idx, _ = q.to_coo()
+        q = Vector.from_coo(idx, idx, n, dtype=INT64)
+    out = np.full(n, -1, dtype=np.int64)
+    idx, vals = parents.to_coo()
+    out[idx] = vals
+    out[source] = -1  # root has no parent by convention
+    return out
+
+
+def _identity_int64():
+    from ..graphblas.unaryop import IDENTITY
+
+    return IDENTITY

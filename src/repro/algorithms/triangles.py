@@ -1,0 +1,85 @@
+"""Triangle counting and k-truss: the paper's edge-centric exemplar.
+
+§II.C uses exactly this computation to motivate fill-in elimination:
+
+    "the edge values in the adjacency matrix are the output of a series
+     of linear algebra operations … S = AᵀA ∘ A"
+
+Triangle counting reads the support matrix once; k-truss iterates it,
+filtering out edges whose support drops below ``k - 2`` (the paper's
+reference [14], Low et al.).  Both use the masked ``mxm`` push-down in
+:func:`repro.graphblas.operations.mxm`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphblas import operations as ops
+from ..graphblas.descriptor import STRUCTURE, TRANSPOSE0
+from ..graphblas.indexunaryop import VALUEGE
+from ..graphblas.matrix import Matrix
+from ..graphblas.monoid import PLUS_MONOID
+from ..graphblas.semiring import PLUS_PAIR
+from ..graphblas.types import INT64
+from ..graphs.graph import Graph
+
+__all__ = ["triangle_count", "ktruss", "edge_support"]
+
+
+def _pattern_matrix(graph: Graph) -> Matrix:
+    """Adjacency pattern with unit values (weights are irrelevant here)."""
+    A = graph.to_matrix()
+    rows, cols, _ = A.to_coo()
+    return Matrix.from_coo(rows, cols, np.ones(len(rows), dtype=np.int64), A.nrows, A.ncols)
+
+
+def edge_support(graph: Graph) -> Matrix:
+    """``S = AᵀA ∘ A``: per-edge triangle support (§II.C).
+
+    Implemented as a masked ``mxm`` over ``PLUS_PAIR`` with ``A`` as a
+    structural mask — the Hadamard fill-in elimination fused into the
+    multiply, as real GraphBLAS libraries do.
+    """
+    A = _pattern_matrix(graph)
+    S = Matrix.new(INT64, A.nrows, A.ncols)
+    desc = STRUCTURE.transposing(0)
+    ops.mxm(S, PLUS_PAIR, A, A, mask=A, desc=desc)
+    return S
+
+
+def triangle_count(graph: Graph) -> int:
+    """Number of triangles (undirected; each triangle counted once).
+
+    For a symmetric pattern, ``Σ S / 6`` — each triangle contributes one
+    support unit to each of its 3 edges in both stored orientations.
+    """
+    S = edge_support(graph)
+    total = int(ops.reduce_matrix_to_scalar(PLUS_MONOID, S, dtype=INT64))
+    return total // 6
+
+
+def ktruss(graph: Graph, k: int, max_iterations: int | None = None) -> Matrix:
+    """The k-truss of *graph*: maximal subgraph where every edge is in at
+    least ``k - 2`` triangles.
+
+    Iterates §II.C's support computation with a ``GrB_select`` edge
+    filter until fixpoint — the translation-methodology view of the
+    edge-centric "peel edges below threshold" loop.
+    """
+    if k < 3:
+        raise ValueError("k-truss requires k >= 3")
+    C = _pattern_matrix(graph)
+    limit = max_iterations if max_iterations is not None else graph.num_edges + 1
+    for _ in range(limit):
+        S = Matrix.new(INT64, C.nrows, C.ncols)
+        ops.mxm(S, PLUS_PAIR, C, C, mask=C, desc=STRUCTURE.transposing(0))
+        before = C.nvals
+        kept = Matrix.new(INT64, C.nrows, C.ncols)
+        ops.select(kept, VALUEGE, S, k - 2)
+        # back to pattern values of 1 for the next round
+        rows, cols, _ = kept.to_coo()
+        C = Matrix.from_coo(rows, cols, np.ones(len(rows), dtype=np.int64), C.nrows, C.ncols)
+        if C.nvals == before:
+            break
+    return C

@@ -1,0 +1,72 @@
+"""Experiment registry: one entry per paper artifact (DESIGN.md §4).
+
+Each experiment knows how to produce its rows and render its panel; the
+CLI and EXPERIMENTS.md generation iterate this table so no figure can be
+silently dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .figures import (
+    fig3_series,
+    fig4_series,
+    render_fig3,
+    render_fig4,
+    render_sec6c,
+    sec6c_profile,
+)
+from .workloads import suite_workloads
+
+__all__ = ["Experiment", "EXPERIMENTS", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A reproducible paper artifact."""
+
+    id: str
+    paper_artifact: str
+    claim: str
+    run: Callable[..., list[dict]] = None  # type: ignore[assignment]
+    render: Callable[[list[dict]], str] = None  # type: ignore[assignment]
+
+
+def _fig4_render(rows):
+    return render_fig4(rows)
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    "FIG3": Experiment(
+        id="FIG3",
+        paper_artifact="Figure 3",
+        claim="Fused sequential implementation beats unfused SuiteSparse-style by ~3.7x on average",
+        run=lambda suite=None, **kw: fig3_series(suite_workloads(suite), **kw),
+        render=render_fig3,
+    ),
+    "FIG4": Experiment(
+        id="FIG4",
+        paper_artifact="Figure 4",
+        claim="OpenMP-task parallelism gains ~1.44x (2T) and ~1.5x (4T) over sequential fused",
+        run=lambda suite=None, **kw: fig4_series(suite_workloads(suite), **kw),
+        render=_fig4_render,
+    ),
+    "SEC6C": Experiment(
+        id="SEC6C",
+        paper_artifact="Section VI.C (text claim)",
+        claim="A_L/A_H matrix filtering consumes 35-40% of sequential runtime",
+        run=lambda suite=None, **kw: sec6c_profile(suite_workloads(suite), **kw),
+        render=render_sec6c,
+    ),
+}
+
+
+def run_experiment(exp_id: str, suite: str | None = None, **kwargs) -> str:
+    """Run one experiment end-to-end and return its rendered panel."""
+    exp = EXPERIMENTS[exp_id.upper()]
+    rows = exp.run(suite=suite, **kwargs)
+    if exp_id.upper() == "FIG4":
+        return render_fig4(rows, simulate=kwargs.get("simulate", True))
+    return exp.render(rows)

@@ -1,0 +1,136 @@
+"""Command-line interface: ``python -m repro <command>`` / ``repro-sssp``.
+
+Commands map one-to-one onto the experiment registry plus a few
+utilities:
+
+========  ====================================================================
+fig3      regenerate Figure 3 (unfused vs fused sequential runtime)
+fig4      regenerate Figure 4 (task-parallel speedup; simulated by default)
+profile   regenerate the §VI.C operation-share breakdown
+run       one SSSP run with any implementation, printing the summary
+suite     list the dataset suite with structural statistics
+translate show the IR translation pipeline + fusion report
+========  ====================================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-sssp",
+        description="Delta-stepping SSSP / GraphBLAS reproduction harness",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    for fig in ("fig3", "fig4", "profile"):
+        sp = sub.add_parser(fig, help=f"regenerate {fig.upper()} from the paper")
+        sp.add_argument("--suite", default="ci", choices=["ci", "paper"], help="graph suite (default: ci)")
+        if fig == "fig3":
+            sp.add_argument("--repeats", type=int, default=3)
+        if fig == "fig4":
+            sp.add_argument("--real", action="store_true", help="time real threads instead of the simulated schedule")
+            sp.add_argument("--threads", type=int, nargs="+", default=[2, 4])
+
+    sp = sub.add_parser("run", help="run one SSSP configuration")
+    sp.add_argument("graph", help="dataset name (see `suite`)")
+    sp.add_argument("--method", default="fused")
+    sp.add_argument("--source", type=int, default=None, help="default: largest-component vertex")
+    sp.add_argument("--delta", type=float, default=None)
+    sp.add_argument("--weights", default="unit")
+    sp.add_argument("--verify", action="store_true", help="validate against Dijkstra")
+
+    sp = sub.add_parser("suite", help="list dataset suites with statistics")
+    sp.add_argument("--suite", default="ci", choices=["ci", "paper"])
+
+    sub.add_parser("translate", help="show the IR translation pipeline and fusion report")
+    return p
+
+
+def _cmd_fig(args) -> int:
+    from .bench.registry import run_experiment
+
+    exp = {"fig3": "FIG3", "fig4": "FIG4", "profile": "SEC6C"}[args.command]
+    kwargs = {}
+    if args.command == "fig3":
+        kwargs["repeats"] = args.repeats
+    if args.command == "fig4":
+        kwargs["simulate"] = not args.real
+        kwargs["threads"] = tuple(args.threads)
+    print(run_experiment(exp, suite=args.suite, **kwargs))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from .bench.workloads import workload_for
+    from .sssp import delta_stepping, check_against_dijkstra
+
+    wl = workload_for(args.graph, weights=args.weights)
+    source = args.source if args.source is not None else wl.source
+    result = delta_stepping(wl.graph, source, args.delta, method=args.method)
+    for k, v in result.summary().items():
+        print(f"{k:14s} {v}")
+    if args.verify:
+        check_against_dijkstra(wl.graph, result)
+        print("verified        OK (matches Dijkstra)")
+    return 0
+
+
+def _cmd_suite(args) -> int:
+    from .bench.reporting import format_table
+    from .graphs import datasets
+    from .graphs.stats import graph_stats
+
+    rows = [graph_stats(datasets.load(name)).as_row() for name in datasets.suite_names(args.suite)]
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_translate(_args) -> int:
+    from .ir import count_calls, delta_stepping_program, fuse_program, lower_program
+
+    lowered = lower_program(delta_stepping_program())
+    fused, report = fuse_program(lowered)
+    print("Translation pipeline: vertex/edge patterns -> IR -> GraphBLAS calls")
+    print(f"  static GraphBLAS calls (unfused): {report.calls_before}")
+    print(f"  static GraphBLAS calls (fused):   {report.calls_after}")
+    print(f"  filter fusions applied:           {report.filters_fused}")
+    print(f"  Hadamard+vxm fusions applied:     {report.masked_vxm_fused}")
+
+    def show(calls, indent=2):
+        from .ir import LoweredWhile
+
+        for c in calls:
+            if isinstance(c, LoweredWhile):
+                print(" " * indent + f"while nvals({c.cond_name}) != 0:")
+                show(c.pre, indent + 4)
+                print(" " * (indent + 2) + "-- body --")
+                show(c.body, indent + 4)
+            else:
+                print(" " * indent + repr(c))
+
+    print("\nFused call tree:")
+    show(fused.calls)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "fig3": _cmd_fig,
+        "fig4": _cmd_fig,
+        "profile": _cmd_fig,
+        "run": _cmd_run,
+        "suite": _cmd_suite,
+        "translate": _cmd_translate,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

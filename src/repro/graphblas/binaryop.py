@@ -1,0 +1,159 @@
+"""GraphBLAS binary operators (``GrB_BinaryOp``).
+
+Binary operators combine two value arrays element-by-element.  They are used
+directly by the element-wise operations, as accumulators, as the "multiply"
+of a semiring, and (via :mod:`repro.graphblas.monoid`) as the "add".
+
+Output-domain policy mirrors the spec's predefined operator families:
+comparison operators (``LT`` et al.) produce ``BOOL``; ``FIRST``/``SECOND``
+keep the corresponding operand's domain; arithmetic promotes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .types import BOOL, DataType, promote
+
+__all__ = [
+    "BinaryOp",
+    "FIRST",
+    "SECOND",
+    "PAIR",
+    "MIN",
+    "MAX",
+    "PLUS",
+    "MINUS",
+    "RMINUS",
+    "TIMES",
+    "DIV",
+    "RDIV",
+    "EQ",
+    "NE",
+    "GT",
+    "LT",
+    "GE",
+    "LE",
+    "LOR",
+    "LAND",
+    "LXOR",
+    "ANY",
+]
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """A named binary operator ``z = f(x, y)`` on value arrays.
+
+    Attributes
+    ----------
+    name:
+        Diagnostic name.
+    fn:
+        Vectorized two-argument callable.
+    out_policy:
+        ``"promote"`` (NumPy promotion of operand domains), ``"bool"``,
+        ``"first"``, ``"second"``, or a fixed :class:`DataType`.
+    ufunc:
+        The underlying NumPy ufunc when one exists.  Monoids require it
+        for ``reduceat`` group reductions; pure-Python ops may leave it
+        unset and remain usable everywhere except as a monoid.
+    commutative:
+        Declared commutativity — the paper's §V.B pitfall is precisely
+        that ``eWiseAdd`` is only intuitive for commutative operators.
+    """
+
+    name: str
+    fn: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    out_policy: object = "promote"
+    ufunc: np.ufunc | None = None
+    commutative: bool = False
+
+    def __call__(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return np.asarray(self.fn(x, y))
+
+    def result_type(self, a: DataType, b: DataType) -> DataType:
+        """Domain of the result given operand domains."""
+        policy = self.out_policy
+        if policy == "promote":
+            return promote(a, b)
+        if policy == "bool":
+            return BOOL
+        if policy == "first":
+            return a
+        if policy == "second":
+            return b
+        if isinstance(policy, DataType):
+            return policy
+        raise ValueError(f"bad out_policy {policy!r} on {self.name}")
+
+    @staticmethod
+    def define(
+        fn: Callable[[np.ndarray, np.ndarray], np.ndarray],
+        name: str = "udf",
+        out_policy: object = "promote",
+        ufunc: np.ufunc | None = None,
+        commutative: bool = False,
+    ) -> "BinaryOp":
+        """Create a user-defined binary op from a vectorized callable."""
+        return BinaryOp(name=name, fn=fn, out_policy=out_policy, ufunc=ufunc, commutative=commutative)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"BinaryOp<{self.name}>"
+
+
+def _first(x, y):
+    return x
+
+
+def _second(x, y):
+    return y
+
+
+def _pair(x, y):
+    return np.ones_like(x)
+
+
+def _any(x, y):
+    # ANY may return either operand; we deterministically pick the first.
+    return x
+
+
+def _rminus(x, y):
+    return y - x
+
+
+def _safe_div(x, y):
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        return np.divide(x, y)
+
+
+def _safe_rdiv(x, y):
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        return np.divide(y, x)
+
+
+FIRST = BinaryOp("FIRST", _first, out_policy="first")
+SECOND = BinaryOp("SECOND", _second, out_policy="second")
+PAIR = BinaryOp("PAIR", _pair, out_policy="first", commutative=True)
+MIN = BinaryOp("MIN", np.minimum, ufunc=np.minimum, commutative=True)
+MAX = BinaryOp("MAX", np.maximum, ufunc=np.maximum, commutative=True)
+PLUS = BinaryOp("PLUS", np.add, ufunc=np.add, commutative=True)
+MINUS = BinaryOp("MINUS", np.subtract, ufunc=np.subtract)
+RMINUS = BinaryOp("RMINUS", _rminus)
+TIMES = BinaryOp("TIMES", np.multiply, ufunc=np.multiply, commutative=True)
+DIV = BinaryOp("DIV", _safe_div)
+RDIV = BinaryOp("RDIV", _safe_rdiv)
+EQ = BinaryOp("EQ", np.equal, out_policy="bool", ufunc=np.equal, commutative=True)
+NE = BinaryOp("NE", np.not_equal, out_policy="bool", ufunc=np.not_equal, commutative=True)
+GT = BinaryOp("GT", np.greater, out_policy="bool", ufunc=np.greater)
+LT = BinaryOp("LT", np.less, out_policy="bool", ufunc=np.less)
+GE = BinaryOp("GE", np.greater_equal, out_policy="bool", ufunc=np.greater_equal)
+LE = BinaryOp("LE", np.less_equal, out_policy="bool", ufunc=np.less_equal)
+LOR = BinaryOp("LOR", np.logical_or, out_policy="bool", ufunc=np.logical_or, commutative=True)
+LAND = BinaryOp("LAND", np.logical_and, out_policy="bool", ufunc=np.logical_and, commutative=True)
+LXOR = BinaryOp("LXOR", np.logical_xor, out_policy="bool", ufunc=np.logical_xor, commutative=True)
+ANY = BinaryOp("ANY", _any, out_policy="first", commutative=True)

@@ -1,0 +1,85 @@
+"""GraphBLAS descriptors (``GrB_Descriptor``).
+
+Descriptors tweak how an operation treats its output, mask, and inputs:
+
+- ``OUTP = REPLACE`` — clear the output before writing results through the
+  mask (the paper's ``clear_desc``; without it, stale entries outside the
+  mask survive).
+- ``MASK = COMP`` — use the complement of the mask.
+- ``MASK = STRUCTURE`` — mask by stored pattern rather than by value.
+- ``INP0/INP1 = TRAN`` — operate on the transpose of the first/second input.
+
+Immutable value objects; combine flags with the provided constructors or
+:meth:`Descriptor.replacing` etc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as _dc_replace
+
+__all__ = [
+    "Descriptor",
+    "NULL_DESC",
+    "REPLACE",
+    "COMPLEMENT",
+    "STRUCTURE",
+    "TRANSPOSE0",
+    "TRANSPOSE1",
+    "REPLACE_COMPLEMENT",
+    "REPLACE_STRUCTURE",
+]
+
+
+@dataclass(frozen=True)
+class Descriptor:
+    """Operation modifier flags (all default off)."""
+
+    replace: bool = False
+    mask_complement: bool = False
+    mask_structure: bool = False
+    transpose0: bool = False
+    transpose1: bool = False
+
+    def replacing(self) -> "Descriptor":
+        """Copy with ``OUTP=REPLACE`` set."""
+        return _dc_replace(self, replace=True)
+
+    def complementing(self) -> "Descriptor":
+        """Copy with ``MASK=COMP`` set."""
+        return _dc_replace(self, mask_complement=True)
+
+    def structural(self) -> "Descriptor":
+        """Copy with ``MASK=STRUCTURE`` set."""
+        return _dc_replace(self, mask_structure=True)
+
+    def transposing(self, which: int) -> "Descriptor":
+        """Copy with ``INP0=TRAN`` (``which=0``) or ``INP1=TRAN`` (``which=1``)."""
+        if which == 0:
+            return _dc_replace(self, transpose0=True)
+        if which == 1:
+            return _dc_replace(self, transpose1=True)
+        raise ValueError("which must be 0 or 1")
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        flags = [
+            name
+            for name, on in (
+                ("REPLACE", self.replace),
+                ("COMP", self.mask_complement),
+                ("STRUCTURE", self.mask_structure),
+                ("TRAN0", self.transpose0),
+                ("TRAN1", self.transpose1),
+            )
+            if on
+        ]
+        return f"Descriptor<{'|'.join(flags) or 'NULL'}>"
+
+
+NULL_DESC = Descriptor()
+REPLACE = Descriptor(replace=True)
+COMPLEMENT = Descriptor(mask_complement=True)
+STRUCTURE = Descriptor(mask_structure=True)
+TRANSPOSE0 = Descriptor(transpose0=True)
+TRANSPOSE1 = Descriptor(transpose1=True)
+REPLACE_COMPLEMENT = Descriptor(replace=True, mask_complement=True)
+REPLACE_STRUCTURE = Descriptor(replace=True, mask_structure=True)

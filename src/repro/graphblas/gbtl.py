@@ -1,0 +1,171 @@
+"""GBTL-flavoured facade: the C++ GraphBLAS Template Library API surface.
+
+The paper's second implementation targets GBTL (Zalewski, Zhang, Lumsdaine,
+McMillan), whose API is function templates in namespace ``grb`` taking
+functor objects (``grb::MinSelect2ndSemiring<double>()``) and throwing
+exceptions on error.  This module mirrors that flavour so the GBTL version
+of the SSSP reads like its C++ counterpart:
+
+- free functions ``gbtl.vxm(w, mask, accum, op, u, A, replace_flag)``;
+- functor-style operator classes instantiated per element type
+  (``MinPlusSemiring(FP64)``);
+- errors raised as exceptions (C++ ``throw``), unlike the C facade.
+"""
+
+from __future__ import annotations
+
+from . import operations as ops
+from .binaryop import BinaryOp, MIN as _MIN, PLUS as _PLUS, TIMES as _TIMES
+from .descriptor import NULL_DESC, REPLACE
+from .matrix import Matrix
+from .monoid import MIN_MONOID, PLUS_MONOID, Monoid
+from .semiring import MIN_PLUS, MIN_SECOND, PLUS_TIMES, Semiring
+from .types import FP64, DataType
+from .vector import Vector
+
+__all__ = [
+    "NoMask",
+    "NoAccumulate",
+    "Plus",
+    "Min",
+    "Times",
+    "PlusMonoid",
+    "MinMonoid",
+    "ArithmeticSemiring",
+    "MinPlusSemiring",
+    "MinSelect2ndSemiring",
+    "vxm",
+    "mxv",
+    "mxm",
+    "eWiseAdd",
+    "eWiseMult",
+    "apply",
+    "assign",
+    "extract",
+    "reduce",
+    "transpose",
+]
+
+
+class NoMask:
+    """``grb::NoMask`` — placeholder for an absent mask."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "grb::NoMask()"
+
+
+class NoAccumulate:
+    """``grb::NoAccumulate`` — placeholder for an absent accumulator."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "grb::NoAccumulate()"
+
+
+def _mask_of(mask):
+    return None if mask is None or isinstance(mask, NoMask) else mask
+
+
+def _accum_of(accum):
+    return None if accum is None or isinstance(accum, NoAccumulate) else accum
+
+
+def _desc_of(replace_flag: bool):
+    return REPLACE if replace_flag else NULL_DESC
+
+
+# -- functor-style operator factories (C++ template instantiations) ---------
+
+def Plus(_dtype: DataType = FP64) -> BinaryOp:
+    """``grb::Plus<T>()``."""
+    return _PLUS
+
+
+def Min(_dtype: DataType = FP64) -> BinaryOp:
+    """``grb::Min<T>()``."""
+    return _MIN
+
+
+def Times(_dtype: DataType = FP64) -> BinaryOp:
+    """``grb::Times<T>()``."""
+    return _TIMES
+
+
+def PlusMonoid(_dtype: DataType = FP64) -> Monoid:
+    """``grb::PlusMonoid<T>()``."""
+    return PLUS_MONOID
+
+
+def MinMonoid(_dtype: DataType = FP64) -> Monoid:
+    """``grb::MinMonoid<T>()``."""
+    return MIN_MONOID
+
+
+def ArithmeticSemiring(_dtype: DataType = FP64) -> Semiring:
+    """``grb::ArithmeticSemiring<T>()`` — (+, ×)."""
+    return PLUS_TIMES
+
+
+def MinPlusSemiring(_dtype: DataType = FP64) -> Semiring:
+    """``grb::MinPlusSemiring<T>()`` — (min, +), the SSSP semiring."""
+    return MIN_PLUS
+
+
+def MinSelect2ndSemiring(_dtype: DataType = FP64) -> Semiring:
+    """``grb::MinSelect2ndSemiring<T>()`` — used by GBTL's sssp.hpp."""
+    return MIN_SECOND
+
+
+# -- operations (GBTL signature order; throw on error) -----------------------
+
+def vxm(w: Vector, mask, accum, op: Semiring, u: Vector, A: Matrix, replace_flag: bool = False) -> Vector:
+    """``grb::vxm(w, mask, accum, semiring, u, A, replace)``."""
+    return ops.vxm(w, op, u, A, mask=_mask_of(mask), accum=_accum_of(accum), desc=_desc_of(replace_flag))
+
+
+def mxv(w: Vector, mask, accum, op: Semiring, A: Matrix, u: Vector, replace_flag: bool = False) -> Vector:
+    """``grb::mxv(w, mask, accum, semiring, A, u, replace)``."""
+    return ops.mxv(w, op, A, u, mask=_mask_of(mask), accum=_accum_of(accum), desc=_desc_of(replace_flag))
+
+
+def mxm(C: Matrix, mask, accum, op: Semiring, A: Matrix, B: Matrix, replace_flag: bool = False) -> Matrix:
+    """``grb::mxm(C, mask, accum, semiring, A, B, replace)``."""
+    return ops.mxm(C, op, A, B, mask=_mask_of(mask), accum=_accum_of(accum), desc=_desc_of(replace_flag))
+
+
+def eWiseAdd(w, mask, accum, op, u, v, replace_flag: bool = False):
+    """``grb::eWiseAdd(w, mask, accum, op, u, v, replace)``."""
+    return ops.ewise_add(w, op, u, v, mask=_mask_of(mask), accum=_accum_of(accum), desc=_desc_of(replace_flag))
+
+
+def eWiseMult(w, mask, accum, op, u, v, replace_flag: bool = False):
+    """``grb::eWiseMult(w, mask, accum, op, u, v, replace)``."""
+    return ops.ewise_mult(w, op, u, v, mask=_mask_of(mask), accum=_accum_of(accum), desc=_desc_of(replace_flag))
+
+
+def apply(w, mask, accum, op, u, replace_flag: bool = False):
+    """``grb::apply(w, mask, accum, unary_op, u, replace)``."""
+    return ops.apply(w, op, u, mask=_mask_of(mask), accum=_accum_of(accum), desc=_desc_of(replace_flag))
+
+
+def assign(w, mask, accum, value, indices, replace_flag: bool = False):
+    """``grb::assign(w, mask, accum, val, indices, replace)`` (scalar form)."""
+    if isinstance(value, Vector):
+        return ops.assign_vector(w, value, indices, mask=_mask_of(mask), accum=_accum_of(accum), desc=_desc_of(replace_flag))
+    return ops.assign_scalar_vector(w, value, indices, mask=_mask_of(mask), accum=_accum_of(accum), desc=_desc_of(replace_flag))
+
+
+def extract(w, mask, accum, u, indices, replace_flag: bool = False):
+    """``grb::extract(w, mask, accum, u, indices, replace)`` (vector form)."""
+    return ops.extract_subvector(w, u, indices, mask=_mask_of(mask), accum=_accum_of(accum), desc=_desc_of(replace_flag))
+
+
+def reduce(monoid: Monoid, u) -> object:
+    """``grb::reduce`` to scalar."""
+    if isinstance(u, Vector):
+        return ops.reduce_vector_to_scalar(monoid, u)
+    return ops.reduce_matrix_to_scalar(monoid, u)
+
+
+def transpose(C: Matrix, mask, accum, A: Matrix, replace_flag: bool = False) -> Matrix:
+    """``grb::transpose(C, mask, accum, A, replace)``."""
+    return ops.transpose(C, A, mask=_mask_of(mask), accum=_accum_of(accum), desc=_desc_of(replace_flag))

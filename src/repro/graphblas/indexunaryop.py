@@ -1,0 +1,102 @@
+"""GraphBLAS index-unary operators (``GrB_IndexUnaryOp``).
+
+Index-unary operators see each stored entry's *value and position*
+``f(value, row, col, thunk)`` and power ``GrB_select`` (structural and
+value filters) and positional ``GrB_apply`` variants.  For vectors the
+column argument is zero.
+
+These subsume the paper's filter constructions: ``(A > Δ)`` is
+``VALUEGT`` with thunk Δ, the bucket filter ``iΔ ≤ t < (i+1)Δ`` is
+:func:`value_in_range`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .types import BOOL, INT64, DataType
+
+__all__ = [
+    "IndexUnaryOp",
+    "ROWINDEX",
+    "COLINDEX",
+    "DIAGINDEX",
+    "TRIL",
+    "TRIU",
+    "DIAG",
+    "OFFDIAG",
+    "VALUEEQ",
+    "VALUENE",
+    "VALUEGT",
+    "VALUEGE",
+    "VALUELT",
+    "VALUELE",
+    "COLLE",
+    "COLGT",
+    "ROWLE",
+    "ROWGT",
+    "value_in_range",
+]
+
+
+@dataclass(frozen=True)
+class IndexUnaryOp:
+    """A named operator ``z = f(x, i, j, thunk)`` over stored entries.
+
+    ``fn`` receives parallel arrays of values, row indices, and column
+    indices, plus the scalar *thunk*, and returns an array of results.
+    """
+
+    name: str
+    fn: Callable[[np.ndarray, np.ndarray, np.ndarray, object], np.ndarray]
+    out_type: DataType | None = BOOL
+
+    def __call__(self, values: np.ndarray, rows: np.ndarray, cols: np.ndarray, thunk) -> np.ndarray:
+        out = self.fn(values, rows, cols, thunk)
+        if self.out_type is not None:
+            out = np.asarray(out, dtype=self.out_type.np_dtype)
+        return np.asarray(out)
+
+    def result_type(self, in_type: DataType) -> DataType:
+        return self.out_type if self.out_type is not None else in_type
+
+    @staticmethod
+    def define(fn, name: str = "udf", out_type: DataType | None = BOOL) -> "IndexUnaryOp":
+        """Create a user-defined index-unary op."""
+        return IndexUnaryOp(name=name, fn=fn, out_type=out_type)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"IndexUnaryOp<{self.name}>"
+
+
+ROWINDEX = IndexUnaryOp("ROWINDEX", lambda v, i, j, t: i + t, out_type=INT64)
+COLINDEX = IndexUnaryOp("COLINDEX", lambda v, i, j, t: j + t, out_type=INT64)
+DIAGINDEX = IndexUnaryOp("DIAGINDEX", lambda v, i, j, t: j - i + t, out_type=INT64)
+
+TRIL = IndexUnaryOp("TRIL", lambda v, i, j, t: j <= i + t)
+TRIU = IndexUnaryOp("TRIU", lambda v, i, j, t: j >= i + t)
+DIAG = IndexUnaryOp("DIAG", lambda v, i, j, t: j == i + t)
+OFFDIAG = IndexUnaryOp("OFFDIAG", lambda v, i, j, t: j != i + t)
+
+COLLE = IndexUnaryOp("COLLE", lambda v, i, j, t: j <= t)
+COLGT = IndexUnaryOp("COLGT", lambda v, i, j, t: j > t)
+ROWLE = IndexUnaryOp("ROWLE", lambda v, i, j, t: i <= t)
+ROWGT = IndexUnaryOp("ROWGT", lambda v, i, j, t: i > t)
+
+VALUEEQ = IndexUnaryOp("VALUEEQ", lambda v, i, j, t: v == t)
+VALUENE = IndexUnaryOp("VALUENE", lambda v, i, j, t: v != t)
+VALUEGT = IndexUnaryOp("VALUEGT", lambda v, i, j, t: v > t)
+VALUEGE = IndexUnaryOp("VALUEGE", lambda v, i, j, t: v >= t)
+VALUELT = IndexUnaryOp("VALUELT", lambda v, i, j, t: v < t)
+VALUELE = IndexUnaryOp("VALUELE", lambda v, i, j, t: v <= t)
+
+
+def value_in_range(lo: float, hi: float) -> IndexUnaryOp:
+    """Half-open range test ``lo <= value < hi`` (bucket membership filter)."""
+    return IndexUnaryOp(
+        f"VALUEINRANGE[{lo},{hi})",
+        lambda v, i, j, t: (v >= lo) & (v < hi),
+    )

@@ -1,0 +1,143 @@
+"""GraphBLAS return codes and the exceptions they map to.
+
+The GraphBLAS C API communicates success/failure through ``GrB_Info`` return
+values.  The Pythonic layer of this package raises exceptions instead, but the
+C-flavoured facade (:mod:`repro.graphblas.capi`) returns these codes exactly
+like the listings in the paper (Fig. 2) expect.  Keeping both layers in sync
+is the job of :func:`info_of` / :func:`raise_for_info`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Info(enum.IntEnum):
+    """``GrB_Info`` return codes from the GraphBLAS C API specification.
+
+    Values below 100 are API errors (caller mistakes); values of 100 and
+    above are execution errors (runtime failures).
+    """
+
+    SUCCESS = 0
+    NO_VALUE = 1
+
+    # -- API errors -------------------------------------------------------
+    UNINITIALIZED_OBJECT = 2
+    INVALID_OBJECT = 3
+    NULL_POINTER = 4
+    INVALID_VALUE = 5
+    INVALID_INDEX = 6
+    DOMAIN_MISMATCH = 7
+    DIMENSION_MISMATCH = 8
+    OUTPUT_NOT_EMPTY = 9
+    NOT_IMPLEMENTED = 10
+
+    # -- execution errors -------------------------------------------------
+    PANIC = 101
+    OUT_OF_MEMORY = 102
+    INSUFFICIENT_SPACE = 103
+    INDEX_OUT_OF_BOUNDS = 104
+    EMPTY_OBJECT = 105
+
+
+class GraphBLASError(Exception):
+    """Base class for all errors raised by :mod:`repro.graphblas`."""
+
+    #: the :class:`Info` code this exception corresponds to
+    info: Info = Info.PANIC
+
+
+class NoValue(GraphBLASError):
+    """Raised when extracting an element that is not stored (``GrB_NO_VALUE``)."""
+
+    info = Info.NO_VALUE
+
+
+class UninitializedObject(GraphBLASError):
+    info = Info.UNINITIALIZED_OBJECT
+
+
+class InvalidObject(GraphBLASError):
+    info = Info.INVALID_OBJECT
+
+
+class NullPointer(GraphBLASError):
+    info = Info.NULL_POINTER
+
+
+class InvalidValue(GraphBLASError):
+    info = Info.INVALID_VALUE
+
+
+class InvalidIndex(GraphBLASError):
+    info = Info.INVALID_INDEX
+
+
+class DomainMismatch(GraphBLASError):
+    info = Info.DOMAIN_MISMATCH
+
+
+class DimensionMismatch(GraphBLASError):
+    info = Info.DIMENSION_MISMATCH
+
+
+class OutputNotEmpty(GraphBLASError):
+    info = Info.OUTPUT_NOT_EMPTY
+
+
+class NotImplementedInSpec(GraphBLASError):
+    info = Info.NOT_IMPLEMENTED
+
+
+class Panic(GraphBLASError):
+    info = Info.PANIC
+
+
+class IndexOutOfBounds(GraphBLASError):
+    info = Info.INDEX_OUT_OF_BOUNDS
+
+
+class EmptyObject(GraphBLASError):
+    info = Info.EMPTY_OBJECT
+
+
+#: exception class for each Info code (SUCCESS maps to None)
+_EXC_FOR_INFO: dict[Info, type[GraphBLASError] | None] = {
+    Info.SUCCESS: None,
+    Info.NO_VALUE: NoValue,
+    Info.UNINITIALIZED_OBJECT: UninitializedObject,
+    Info.INVALID_OBJECT: InvalidObject,
+    Info.NULL_POINTER: NullPointer,
+    Info.INVALID_VALUE: InvalidValue,
+    Info.INVALID_INDEX: InvalidIndex,
+    Info.DOMAIN_MISMATCH: DomainMismatch,
+    Info.DIMENSION_MISMATCH: DimensionMismatch,
+    Info.OUTPUT_NOT_EMPTY: OutputNotEmpty,
+    Info.NOT_IMPLEMENTED: NotImplementedInSpec,
+    Info.PANIC: Panic,
+    Info.INDEX_OUT_OF_BOUNDS: IndexOutOfBounds,
+    Info.EMPTY_OBJECT: EmptyObject,
+}
+
+
+def info_of(exc: BaseException) -> Info:
+    """Return the :class:`Info` code corresponding to an exception."""
+    if isinstance(exc, GraphBLASError):
+        return exc.info
+    if isinstance(exc, MemoryError):
+        return Info.OUT_OF_MEMORY
+    if isinstance(exc, IndexError):
+        return Info.INDEX_OUT_OF_BOUNDS
+    return Info.PANIC
+
+
+def raise_for_info(info: Info, message: str = "") -> None:
+    """Raise the exception matching *info*, or return for ``SUCCESS``.
+
+    ``NO_VALUE`` is informational in the spec but callers of this helper
+    treat it as exceptional (element extraction); hence it raises.
+    """
+    exc = _EXC_FOR_INFO.get(Info(info))
+    if exc is not None:
+        raise exc(message or Info(info).name)

@@ -1,0 +1,81 @@
+"""Import/export between GraphBLAS objects and external sparse formats.
+
+Covers the SuiteSparse-style pack/unpack surface the paper's ecosystem
+relies on: COO triples, CSR/CSC arrays, dense NumPy arrays, and
+``scipy.sparse`` interop (used by tests as an independent oracle).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .info import DimensionMismatch
+from .matrix import Matrix
+from .sparseutil import INDEX_DTYPE
+from .types import DataType, from_dtype
+from .vector import Vector
+
+__all__ = [
+    "matrix_from_scipy",
+    "matrix_to_scipy",
+    "matrix_from_csc",
+    "matrix_to_csc",
+    "vector_from_numpy",
+    "vector_to_numpy",
+]
+
+
+def matrix_from_scipy(sp_matrix, dtype: DataType | None = None) -> Matrix:
+    """Build a :class:`Matrix` from any ``scipy.sparse`` matrix."""
+    csr = sp_matrix.tocsr()
+    csr.sum_duplicates()
+    csr.sort_indices()
+    vals = csr.data
+    dtype = from_dtype(dtype) if dtype is not None else from_dtype(vals.dtype)
+    return Matrix.from_csr(
+        csr.indptr.astype(INDEX_DTYPE),
+        csr.indices.astype(INDEX_DTYPE),
+        dtype.cast_array(vals),
+        ncols=csr.shape[1],
+        dtype=dtype,
+    )
+
+
+def matrix_to_scipy(A: Matrix):
+    """Export to ``scipy.sparse.csr_array``."""
+    import scipy.sparse as sp
+
+    return sp.csr_array(
+        (A.values.copy(), A.col_indices.copy(), A.indptr.copy()),
+        shape=(A.nrows, A.ncols),
+    )
+
+
+def matrix_from_csc(indptr, row_indices, values, nrows: int, dtype: DataType | None = None) -> Matrix:
+    """Build from CSC arrays (transpose of a CSR adoption)."""
+    csc_as_csr = Matrix.from_csr(
+        np.asarray(indptr),
+        np.asarray(row_indices),
+        np.asarray(values),
+        ncols=nrows,
+        dtype=dtype,
+    )
+    return csc_as_csr.transpose()
+
+
+def matrix_to_csc(A: Matrix):
+    """Export ``(indptr, row_indices, values)`` in CSC orientation."""
+    t = A.transpose()
+    return t.indptr.copy(), t.col_indices.copy(), t.values.copy()
+
+
+def vector_from_numpy(array, missing=None, dtype: DataType | None = None) -> Vector:
+    """Alias of :meth:`Vector.from_dense` for API symmetry."""
+    return Vector.from_dense(array, missing=missing, dtype=dtype)
+
+
+def vector_to_numpy(v: Vector, fill=0) -> np.ndarray:
+    """Alias of :meth:`Vector.to_dense`."""
+    if not isinstance(v, Vector):
+        raise DimensionMismatch("vector_to_numpy expects a Vector")
+    return v.to_dense(fill)

@@ -1,0 +1,140 @@
+"""The GraphBLAS output-write pipeline: accumulate → mask → replace.
+
+Every GraphBLAS operation ends by writing its computed pattern/values ``T``
+into the output ``C`` under the control of an optional accumulator, an
+optional mask ``M``, and the descriptor's ``REPLACE``/``COMP``/``STRUCTURE``
+flags.  The spec defines this as:
+
+1. ``Z = C ⊙ T`` when an accumulator ``⊙`` is given (union of patterns,
+   accumulator applied where both exist), else ``Z = T``.
+2. Within the mask's true set ``m``: ``C`` becomes exactly ``Z ∩ m``
+   (entries of ``C`` inside ``m`` but absent from ``Z`` are *deleted*).
+   Outside ``m``: ``C`` is kept, unless ``REPLACE`` clears it.
+
+This module implements that pipeline once, generically over flattened
+``int64`` *keys* (a vector's indices, or a matrix's ``row*ncols + col``),
+so vectors and matrices share one battle-tested code path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .binaryop import BinaryOp
+from .sparseutil import membership, union_merge
+from .types import DataType
+
+__all__ = ["effective_mask_keys", "accum_merge", "masked_write", "finalize_write"]
+
+
+def effective_mask_keys(mask, structural: bool) -> np.ndarray:
+    """Sorted keys of the mask entries that count as *true*.
+
+    ``mask`` is any object exposing ``_keys()`` and ``values`` (Vector or
+    Matrix).  A structural mask counts every stored entry; a value mask
+    counts entries whose value casts to True.
+    """
+    keys = mask._keys()
+    if structural:
+        return keys
+    truthy = mask.values.astype(bool, copy=False)
+    return keys[truthy]
+
+
+def accum_merge(
+    c_keys: np.ndarray,
+    c_vals: np.ndarray,
+    t_keys: np.ndarray,
+    t_vals: np.ndarray,
+    accum: BinaryOp | None,
+    out_dtype: DataType,
+):
+    """Step 1 of the pipeline: ``Z = C ⊙ T`` (or ``Z = T`` without accum)."""
+    if accum is None:
+        return t_keys, out_dtype.cast_array(t_vals)
+    merged, in_c, in_t, c_pos, t_pos = union_merge(c_keys, t_keys)
+    z_vals = np.empty(len(merged), dtype=out_dtype.np_dtype)
+    only_c = in_c & ~in_t
+    only_t = in_t & ~in_c
+    both = in_c & in_t
+    if only_c.any():
+        z_vals[only_c] = c_vals[c_pos[only_c]]
+    if only_t.any():
+        z_vals[only_t] = out_dtype.cast_array(np.asarray(t_vals)[t_pos[only_t]])
+    if both.any():
+        combined = accum(c_vals[c_pos[both]], np.asarray(t_vals)[t_pos[both]])
+        z_vals[both] = out_dtype.cast_array(combined)
+    return merged, z_vals
+
+
+def masked_write(
+    c_keys: np.ndarray,
+    c_vals: np.ndarray,
+    z_keys: np.ndarray,
+    z_vals: np.ndarray,
+    mask_true_keys: np.ndarray | None,
+    complement: bool,
+    replace: bool,
+    out_dtype: DataType,
+):
+    """Step 2 of the pipeline: merge ``Z`` into ``C`` under the mask."""
+    if mask_true_keys is None:
+        # No mask: C's pattern is replaced by Z entirely.
+        return z_keys, out_dtype.cast_array(z_vals)
+
+    def in_m(keys: np.ndarray) -> np.ndarray:
+        memb = membership(mask_true_keys, keys)
+        return ~memb if complement else memb
+
+    z_keep = in_m(z_keys)
+    new_from_z_keys = z_keys[z_keep]
+    new_from_z_vals = np.asarray(z_vals)[z_keep]
+
+    if replace:
+        return new_from_z_keys, out_dtype.cast_array(new_from_z_vals)
+
+    c_keep = ~in_m(c_keys)
+    kept_c_keys = c_keys[c_keep]
+    kept_c_vals = c_vals[c_keep]
+
+    # The two partitions are disjoint (inside-mask vs outside-mask), so a
+    # sort of the concatenation restores key order without a dedupe pass.
+    merged_keys = np.concatenate([kept_c_keys, new_from_z_keys])
+    merged_vals = np.concatenate(
+        [
+            out_dtype.cast_array(kept_c_vals),
+            out_dtype.cast_array(new_from_z_vals),
+        ]
+    )
+    order = np.argsort(merged_keys, kind="stable")
+    return merged_keys[order], merged_vals[order]
+
+
+def finalize_write(out, t_keys: np.ndarray, t_vals: np.ndarray, mask, accum, desc) -> None:
+    """Run the full pipeline and store the result into *out* in place.
+
+    *out* is a Vector or Matrix (anything with ``_keys()``, ``values``,
+    ``dtype`` and ``_set_keys(keys, values)``).
+    """
+    from .descriptor import NULL_DESC
+
+    desc = desc or NULL_DESC
+    if mask is not None:
+        out._check_same_shape(mask, "mask")
+    c_keys = out._keys()
+    c_vals = out.values
+    z_keys, z_vals = accum_merge(c_keys, c_vals, t_keys, t_vals, accum, out.dtype)
+    mask_keys = (
+        effective_mask_keys(mask, desc.mask_structure) if mask is not None else None
+    )
+    new_keys, new_vals = masked_write(
+        c_keys,
+        c_vals,
+        z_keys,
+        z_vals,
+        mask_keys,
+        desc.mask_complement,
+        desc.replace,
+        out.dtype,
+    )
+    out._set_keys(new_keys, new_vals)

@@ -1,0 +1,448 @@
+"""``GrB_Matrix``: a typed sparse matrix stored in CSR.
+
+Row-major compressed storage (``indptr`` / ``col_indices`` / ``values``,
+columns sorted within each row) matches the access pattern of the paper's
+hot loop — ``GrB_vxm`` pushes along the rows of the operand matrix.  A
+transpose is materialized on demand and cached until the matrix mutates
+(adjacency matrices in the SSSP are read-only after construction, so the
+cache is effectively free).
+
+Element-wise and masked operations run in a flattened key space
+(``row * ncols + col``) shared with :class:`~repro.graphblas.vector.Vector`
+so the write pipeline in :mod:`repro.graphblas.mask` is common code.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from .info import DimensionMismatch, InvalidIndex, InvalidValue, NoValue
+from .sparseutil import (
+    INDEX_DTYPE,
+    as_index_array,
+    dedupe_coo,
+)
+from .types import DataType, FP64, from_dtype
+
+__all__ = ["Matrix"]
+
+
+class Matrix:
+    """A sparse GraphBLAS matrix of fixed logical shape ``nrows × ncols``."""
+
+    __slots__ = ("nrows", "ncols", "dtype", "_indptr", "_col_indices", "_values", "_transpose_cache")
+
+    def __init__(self, dtype: DataType, nrows: int, ncols: int):
+        if nrows < 0 or ncols < 0:
+            raise InvalidValue(f"negative matrix shape ({nrows}, {ncols})")
+        self.nrows = int(nrows)
+        self.ncols = int(ncols)
+        self.dtype = from_dtype(dtype)
+        self._indptr = np.zeros(self.nrows + 1, dtype=INDEX_DTYPE)
+        self._col_indices = np.empty(0, dtype=INDEX_DTYPE)
+        self._values = np.empty(0, dtype=self.dtype.np_dtype)
+        self._transpose_cache = None
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def new(cls, dtype: DataType = FP64, nrows: int = 0, ncols: int = 0) -> "Matrix":
+        """``GrB_Matrix_new`` — an empty matrix of the given domain/shape."""
+        return cls(dtype, nrows, ncols)
+
+    @classmethod
+    def from_coo(
+        cls,
+        rows: Iterable[int],
+        cols: Iterable[int],
+        values,
+        nrows: int,
+        ncols: int,
+        dtype: DataType | None = None,
+        dup_op=None,
+    ) -> "Matrix":
+        """Build from COO triples (``GrB_Matrix_build``).
+
+        Duplicates are combined with *dup_op*; without one the last wins.
+        """
+        r = as_index_array(rows)
+        c = as_index_array(cols)
+        vals = np.asarray(values)
+        if vals.ndim == 0:
+            vals = np.broadcast_to(vals, r.shape).copy()
+        if not (len(r) == len(c) == len(vals)):
+            raise DimensionMismatch("rows/cols/values length mismatch")
+        if len(r):
+            if r.min() < 0 or r.max() >= nrows:
+                raise InvalidIndex(f"row index out of range for nrows={nrows}")
+            if c.min() < 0 or c.max() >= ncols:
+                raise InvalidIndex(f"col index out of range for ncols={ncols}")
+        dtype = from_dtype(dtype) if dtype is not None else from_dtype(vals.dtype)
+        dup_ufunc = None
+        if dup_op is not None:
+            dup_ufunc = dup_op.ufunc if dup_op.ufunc is not None else np.frompyfunc(dup_op.fn, 2, 1)
+        r, c, vals = dedupe_coo(r, c, vals, max(ncols, 1), dup_ufunc)
+        out = cls(dtype, nrows, ncols)
+        out._set_csr_from_sorted_coo(r, c, dtype.cast_array(vals))
+        return out
+
+    @classmethod
+    def from_dense(cls, array, missing=None, dtype: DataType | None = None) -> "Matrix":
+        """Build from a 2-D dense array, dropping entries equal to *missing*."""
+        arr = np.asarray(array)
+        if arr.ndim != 2:
+            raise DimensionMismatch("from_dense needs a 2-D array")
+        dtype = from_dtype(dtype) if dtype is not None else from_dtype(arr.dtype)
+        if missing is None:
+            keep = np.ones(arr.shape, dtype=bool)
+        elif isinstance(missing, float) and np.isnan(missing):
+            keep = ~np.isnan(arr)
+        else:
+            keep = arr != missing
+        r, c = np.nonzero(keep)
+        out = cls(dtype, arr.shape[0], arr.shape[1])
+        out._set_csr_from_sorted_coo(
+            r.astype(INDEX_DTYPE), c.astype(INDEX_DTYPE), dtype.cast_array(arr[keep])
+        )
+        return out
+
+    @classmethod
+    def from_csr(
+        cls,
+        indptr: np.ndarray,
+        col_indices: np.ndarray,
+        values: np.ndarray,
+        ncols: int,
+        dtype: DataType | None = None,
+    ) -> "Matrix":
+        """Zero-copy adoption of CSR arrays (cols must be sorted per row)."""
+        vals = np.asarray(values)
+        dtype = from_dtype(dtype) if dtype is not None else from_dtype(vals.dtype)
+        out = cls(dtype, len(indptr) - 1, ncols)
+        out._indptr = as_index_array(indptr)
+        out._col_indices = as_index_array(col_indices)
+        out._values = np.ascontiguousarray(vals, dtype=dtype.np_dtype)
+        return out
+
+    @classmethod
+    def identity(cls, n: int, value=1, dtype: DataType | None = None) -> "Matrix":
+        """n×n identity-pattern matrix with *value* on the diagonal."""
+        vals = np.full(n, value)
+        return cls.from_coo(np.arange(n), np.arange(n), vals, n, n, dtype=dtype)
+
+    # -- internal data management -------------------------------------------
+
+    def _invalidate(self) -> None:
+        self._transpose_cache = None
+
+    def _set_csr_from_sorted_coo(self, rows: np.ndarray, cols: np.ndarray, vals: np.ndarray) -> None:
+        """Adopt row-major sorted, duplicate-free COO triples."""
+        counts = np.bincount(rows, minlength=self.nrows).astype(INDEX_DTYPE) if len(rows) else np.zeros(self.nrows, dtype=INDEX_DTYPE)
+        self._indptr = np.concatenate([[0], np.cumsum(counts)]).astype(INDEX_DTYPE)
+        self._col_indices = cols
+        self._values = np.ascontiguousarray(vals, dtype=self.dtype.np_dtype)
+        self._invalidate()
+
+    # Key-space API shared with Vector (mask pipeline, ewise ops).
+    def _keys(self) -> np.ndarray:
+        rows = self.row_ids_expanded()
+        return rows * np.int64(max(self.ncols, 1)) + self._col_indices
+
+    def _set_keys(self, keys: np.ndarray, values: np.ndarray) -> None:
+        ncols = max(self.ncols, 1)
+        rows = (keys // ncols).astype(INDEX_DTYPE)
+        cols = (keys % ncols).astype(INDEX_DTYPE)
+        self._set_csr_from_sorted_coo(rows, cols, values)
+
+    def _check_same_shape(self, other, what: str) -> None:
+        if (
+            not isinstance(other, Matrix)
+            or other.nrows != self.nrows
+            or other.ncols != self.ncols
+        ):
+            raise DimensionMismatch(
+                f"{what} shape mismatch: expected {self.nrows}x{self.ncols} matrix"
+            )
+
+    # -- basic properties ------------------------------------------------------
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """CSR row pointer (read-only view)."""
+        v = self._indptr.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def col_indices(self) -> np.ndarray:
+        """CSR column indices, sorted within each row (read-only view)."""
+        v = self._col_indices.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def values(self) -> np.ndarray:
+        """CSR values parallel to :attr:`col_indices` (read-only view)."""
+        v = self._values.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def nvals(self) -> int:
+        """``GrB_Matrix_nvals`` — number of stored entries."""
+        return len(self._col_indices)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.nrows, self.ncols)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Matrix<{self.dtype.name}, shape=({self.nrows}, {self.ncols}), "
+            f"nvals={self.nvals}>"
+        )
+
+    def row_ids_expanded(self) -> np.ndarray:
+        """Row id of every stored entry (COO row array from CSR)."""
+        return np.repeat(
+            np.arange(self.nrows, dtype=INDEX_DTYPE), np.diff(self._indptr)
+        )
+
+    def row_degrees(self) -> np.ndarray:
+        """Stored-entry count per row."""
+        return np.diff(self._indptr)
+
+    def row(self, i: int):
+        """``(col_indices, values)`` views of row *i* (zero-copy slices)."""
+        lo, hi = self._indptr[i], self._indptr[i + 1]
+        return self._col_indices[lo:hi], self._values[lo:hi]
+
+    # -- element access ---------------------------------------------------------
+
+    def extract_element(self, i: int, j: int):
+        """``GrB_Matrix_extractElement`` — raises :class:`NoValue` if absent."""
+        if not (0 <= i < self.nrows and 0 <= j < self.ncols):
+            raise InvalidIndex(f"({i}, {j}) out of range for {self.shape}")
+        lo, hi = self._indptr[i], self._indptr[i + 1]
+        seg = self._col_indices[lo:hi]
+        pos = np.searchsorted(seg, j)
+        if pos < len(seg) and seg[pos] == j:
+            return self._values[lo + pos]
+        raise NoValue(f"no stored value at ({i}, {j})")
+
+    def get(self, i: int, j: int, default=None):
+        """Like :meth:`extract_element` but returns *default* when absent."""
+        try:
+            return self.extract_element(i, j)
+        except NoValue:
+            return default
+
+    def set_element(self, i: int, j: int, value) -> "Matrix":
+        """``GrB_Matrix_setElement`` — insert or overwrite one entry.
+
+        O(nnz) worst case on insert; fine for construction/test use, hot
+        paths should build with :meth:`from_coo`.
+        """
+        if not (0 <= i < self.nrows and 0 <= j < self.ncols):
+            raise InvalidIndex(f"({i}, {j}) out of range for {self.shape}")
+        lo, hi = int(self._indptr[i]), int(self._indptr[i + 1])
+        seg = self._col_indices[lo:hi]
+        pos = int(np.searchsorted(seg, j))
+        value = self.dtype.cast_scalar(value)
+        if pos < len(seg) and seg[pos] == j:
+            self._values[lo + pos] = value
+        else:
+            at = lo + pos
+            self._col_indices = np.insert(self._col_indices, at, j)
+            self._values = np.insert(self._values, at, value)
+            self._indptr = self._indptr.copy()
+            self._indptr[i + 1 :] += 1
+        self._invalidate()
+        return self
+
+    # -- whole-object operations ---------------------------------------------
+
+    def clear(self) -> "Matrix":
+        """``GrB_Matrix_clear`` — drop all entries (shape/domain kept)."""
+        self._indptr = np.zeros(self.nrows + 1, dtype=INDEX_DTYPE)
+        self._col_indices = np.empty(0, dtype=INDEX_DTYPE)
+        self._values = np.empty(0, dtype=self.dtype.np_dtype)
+        self._invalidate()
+        return self
+
+    def dup(self) -> "Matrix":
+        """``GrB_Matrix_dup`` — deep copy."""
+        out = Matrix(self.dtype, self.nrows, self.ncols)
+        out._indptr = self._indptr.copy()
+        out._col_indices = self._col_indices.copy()
+        out._values = self._values.copy()
+        return out
+
+    def to_coo(self):
+        """Return ``(rows, cols, values)`` copies (``extractTuples``)."""
+        return self.row_ids_expanded(), self._col_indices.copy(), self._values.copy()
+
+    def to_dense(self, fill=0) -> np.ndarray:
+        """Densify with *fill* in unstored positions."""
+        out = np.full((self.nrows, self.ncols), fill, dtype=self.dtype.np_dtype)
+        out[self.row_ids_expanded(), self._col_indices] = self._values
+        return out
+
+    def isequal(self, other: "Matrix") -> bool:
+        """Same shape, same pattern, identical values."""
+        return (
+            isinstance(other, Matrix)
+            and self.shape == other.shape
+            and np.array_equal(self._indptr, other._indptr)
+            and np.array_equal(self._col_indices, other._col_indices)
+            and np.array_equal(self._values, other._values)
+        )
+
+    def transpose(self) -> "Matrix":
+        """Materialized transpose (cached until this matrix mutates)."""
+        if self._transpose_cache is None:
+            rows, cols, vals = self.to_coo()
+            # counting-sort by (new row = old col): stable argsort keeps the
+            # secondary (new col = old row) order because COO is row-major.
+            order = np.argsort(cols, kind="stable")
+            t = Matrix(self.dtype, self.ncols, self.nrows)
+            t._set_csr_from_sorted_coo(cols[order], rows[order], vals[order])
+            self._transpose_cache = t
+        return self._transpose_cache
+
+    @property
+    def T(self) -> "Matrix":
+        """Alias of :meth:`transpose`."""
+        return self.transpose()
+
+    def diag(self):
+        """The stored diagonal as a :class:`~repro.graphblas.vector.Vector`."""
+        from .vector import Vector
+
+        rows = self.row_ids_expanded()
+        on_diag = rows == self._col_indices
+        out = Vector(self.dtype, min(self.nrows, self.ncols))
+        out._set_data(rows[on_diag], self._values[on_diag])
+        return out
+
+    def wait(self) -> "Matrix":
+        """``GrB_Matrix_wait`` — no-op (this implementation is eager)."""
+        return self
+
+    # -- delegated operations ----------------------------------------------------
+
+    def apply(self, op, mask=None, accum=None, desc=None, out=None) -> "Matrix":
+        """Map stored values through a unary op (``GrB_Matrix_apply``)."""
+        from . import operations
+
+        return operations.apply(
+            out if out is not None else Matrix(op.result_type(self.dtype), self.nrows, self.ncols),
+            op,
+            self,
+            mask=mask,
+            accum=accum,
+            desc=desc,
+        )
+
+    def select(self, op, thunk=None, mask=None, accum=None, desc=None, out=None) -> "Matrix":
+        """Keep entries passing an index-unary predicate (``GrB_select``)."""
+        from . import operations
+
+        return operations.select(
+            out if out is not None else Matrix(self.dtype, self.nrows, self.ncols),
+            op,
+            self,
+            thunk,
+            mask=mask,
+            accum=accum,
+            desc=desc,
+        )
+
+    def ewise_add(self, other: "Matrix", op, mask=None, accum=None, desc=None, out=None) -> "Matrix":
+        """Union element-wise combine (``GrB_eWiseAdd``)."""
+        from . import operations
+
+        dtype = op.result_type(self.dtype, other.dtype)
+        return operations.ewise_add(
+            out if out is not None else Matrix(dtype, self.nrows, self.ncols),
+            op,
+            self,
+            other,
+            mask=mask,
+            accum=accum,
+            desc=desc,
+        )
+
+    def ewise_mult(self, other: "Matrix", op, mask=None, accum=None, desc=None, out=None) -> "Matrix":
+        """Intersection element-wise combine (``GrB_eWiseMult``)."""
+        from . import operations
+
+        dtype = op.result_type(self.dtype, other.dtype)
+        return operations.ewise_mult(
+            out if out is not None else Matrix(dtype, self.nrows, self.ncols),
+            op,
+            self,
+            other,
+            mask=mask,
+            accum=accum,
+            desc=desc,
+        )
+
+    def mxv(self, vector, semiring, mask=None, accum=None, desc=None, out=None):
+        """Matrix × column-vector over a semiring (``GrB_mxv``)."""
+        from . import operations
+        from .vector import Vector
+
+        dtype = semiring.result_type(self.dtype, vector.dtype)
+        return operations.mxv(
+            out if out is not None else Vector(dtype, self.nrows),
+            semiring,
+            self,
+            vector,
+            mask=mask,
+            accum=accum,
+            desc=desc,
+        )
+
+    def mxm(self, other: "Matrix", semiring, mask=None, accum=None, desc=None, out=None) -> "Matrix":
+        """Matrix × matrix over a semiring (``GrB_mxm``)."""
+        from . import operations
+
+        dtype = semiring.result_type(self.dtype, other.dtype)
+        return operations.mxm(
+            out if out is not None else Matrix(dtype, self.nrows, other.ncols),
+            semiring,
+            self,
+            other,
+            mask=mask,
+            accum=accum,
+            desc=desc,
+        )
+
+    def reduce_rows(self, monoid, mask=None, accum=None, desc=None, out=None):
+        """Per-row reduction to a vector (``GrB_Matrix_reduce_Monoid``)."""
+        from . import operations
+
+        return operations.reduce_matrix_to_vector(
+            out, monoid, self, mask=mask, accum=accum, desc=desc
+        )
+
+    def reduce_scalar(self, monoid, dtype: DataType | None = None):
+        """Whole-matrix reduction to a scalar."""
+        from . import operations
+
+        return operations.reduce_matrix_to_scalar(monoid, self, dtype=dtype)
+
+    def kronecker(self, other: "Matrix", op, out=None) -> "Matrix":
+        """Kronecker product with *op* as the multiply (``GrB_kronecker``)."""
+        from . import operations
+
+        return operations.kronecker(out, op, self, other)
+
+    def extract_submatrix(self, rows, cols, out=None) -> "Matrix":
+        """Submatrix extraction (``GrB_Matrix_extract``)."""
+        from . import operations
+
+        return operations.extract_submatrix(out, self, rows, cols)

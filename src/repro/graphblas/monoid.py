@@ -1,0 +1,112 @@
+"""GraphBLAS monoids (``GrB_Monoid``): associative binary op + identity.
+
+Monoids drive reductions (``GrB_reduce``) and form the "add" of a semiring.
+The grouped reductions inside ``vxm``/``mxv``/``mxm`` need a NumPy ufunc
+(for ``reduceat``); all predefined monoids have one.  User-defined monoids
+built from pure-Python binary ops get a ``frompyfunc`` fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from . import binaryop as bop
+from .binaryop import BinaryOp
+from .info import DomainMismatch
+from .types import DataType, default_identity_for
+
+__all__ = [
+    "Monoid",
+    "MIN_MONOID",
+    "MAX_MONOID",
+    "PLUS_MONOID",
+    "TIMES_MONOID",
+    "LOR_MONOID",
+    "LAND_MONOID",
+    "LXOR_MONOID",
+    "EQ_MONOID",
+    "ANY_MONOID",
+]
+
+
+@dataclass(frozen=True)
+class Monoid:
+    """An associative, commutative binary operator with an identity.
+
+    Attributes
+    ----------
+    name:
+        Diagnostic name.
+    binaryop:
+        The underlying :class:`BinaryOp`.
+    identity_kind:
+        Key understood by
+        :func:`repro.graphblas.types.default_identity_for`, which yields a
+        domain-specific identity (e.g. ``+inf`` for FP64 MIN, ``INT32_MAX``
+        for INT32 MIN).
+    explicit_identity:
+        Overrides ``identity_kind`` when set (user-defined monoids).
+    """
+
+    name: str
+    binaryop: BinaryOp
+    identity_kind: str = "plus"
+    explicit_identity: object = None
+    terminal: object = field(default=None, compare=False)
+
+    def identity(self, dtype: DataType):
+        """The identity element in domain *dtype*."""
+        if self.explicit_identity is not None:
+            return dtype.cast_scalar(self.explicit_identity)
+        return dtype.cast_scalar(default_identity_for(dtype, self.identity_kind))
+
+    @property
+    def ufunc(self) -> np.ufunc:
+        """A ufunc usable with ``reduce``/``reduceat`` for this monoid."""
+        uf = self.binaryop.ufunc
+        if uf is not None:
+            return uf
+        return np.frompyfunc(self.binaryop.fn, 2, 1)
+
+    def __call__(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return self.binaryop(x, y)
+
+    def reduce_all(self, values: np.ndarray, dtype: DataType):
+        """Reduce a value array to one scalar (identity when empty)."""
+        if len(values) == 0:
+            return self.identity(dtype)
+        uf = self.binaryop.ufunc
+        if uf is not None:
+            return dtype.cast_scalar(uf.reduce(dtype.cast_array(values)))
+        acc = values[0]
+        for v in values[1:]:
+            acc = self.binaryop.fn(acc, v)
+        return dtype.cast_scalar(acc)
+
+    @staticmethod
+    def define(binaryop: BinaryOp, identity, name: str = "udf_monoid", terminal=None) -> "Monoid":
+        """Create a user-defined monoid with an explicit identity element."""
+        if not binaryop.commutative:
+            # The spec requires associativity; commutativity is required for
+            # monoids used in reductions with unordered evaluation.  We flag
+            # this eagerly — it is exactly the class of bug §V.B warns about.
+            raise DomainMismatch(
+                f"monoid over non-commutative operator {binaryop.name!r}"
+            )
+        return Monoid(name=name, binaryop=binaryop, explicit_identity=identity, terminal=terminal)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Monoid<{self.name}>"
+
+
+MIN_MONOID = Monoid("MIN", bop.MIN, identity_kind="min", terminal=None)
+MAX_MONOID = Monoid("MAX", bop.MAX, identity_kind="max")
+PLUS_MONOID = Monoid("PLUS", bop.PLUS, identity_kind="plus")
+TIMES_MONOID = Monoid("TIMES", bop.TIMES, identity_kind="times")
+LOR_MONOID = Monoid("LOR", bop.LOR, identity_kind="lor")
+LAND_MONOID = Monoid("LAND", bop.LAND, identity_kind="land")
+LXOR_MONOID = Monoid("LXOR", bop.LXOR, identity_kind="lxor")
+EQ_MONOID = Monoid("EQ", bop.EQ, identity_kind="eq")
+ANY_MONOID = Monoid("ANY", bop.ANY, identity_kind="any")

@@ -1,0 +1,73 @@
+"""``GrB_Scalar``: a typed scalar that may be empty.
+
+GraphBLAS scalars carry presence information (an empty scalar behaves like
+an absent entry).  They serve as select thunks and as the result of
+reductions in the C API; the Pythonic layer mostly returns NumPy scalars,
+but the C facade uses this class to round-trip ``GrB_Scalar_*`` calls.
+"""
+
+from __future__ import annotations
+
+from .info import NoValue
+from .types import DataType, FP64, from_dtype
+
+__all__ = ["Scalar"]
+
+
+class Scalar:
+    """A possibly-empty typed scalar."""
+
+    __slots__ = ("dtype", "_value", "_present")
+
+    def __init__(self, dtype: DataType = FP64, value=None):
+        self.dtype = from_dtype(dtype)
+        self._value = None
+        self._present = False
+        if value is not None:
+            self.set(value)
+
+    @classmethod
+    def new(cls, dtype: DataType = FP64) -> "Scalar":
+        """``GrB_Scalar_new`` — an empty scalar."""
+        return cls(dtype)
+
+    @property
+    def nvals(self) -> int:
+        """1 when a value is stored, else 0."""
+        return int(self._present)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._present
+
+    def set(self, value) -> "Scalar":
+        """``GrB_Scalar_setElement``."""
+        self._value = self.dtype.cast_scalar(value)
+        self._present = True
+        return self
+
+    def extract(self):
+        """``GrB_Scalar_extractElement`` — raises :class:`NoValue` if empty."""
+        if not self._present:
+            raise NoValue("scalar is empty")
+        return self._value
+
+    def get(self, default=None):
+        """Value or *default* when empty."""
+        return self._value if self._present else default
+
+    def clear(self) -> "Scalar":
+        """``GrB_Scalar_clear``."""
+        self._value = None
+        self._present = False
+        return self
+
+    def dup(self) -> "Scalar":
+        out = Scalar(self.dtype)
+        if self._present:
+            out.set(self._value)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        body = repr(self._value) if self._present else "empty"
+        return f"Scalar<{self.dtype.name}, {body}>"

@@ -1,0 +1,86 @@
+"""GraphBLAS semirings (``GrB_Semiring``): an add-monoid and a multiply op.
+
+The paper's whole point rests on one of these: edge relaxation is a
+vector-matrix product over ``(min, +)`` instead of ``(+, ×)``.  The
+predefined semirings here cover the SSSP kernels plus the ones needed by
+the extension algorithms (BFS: ``LOR_LAND``/``ANY_PAIR``; triangle
+counting and k-truss: ``PLUS_PAIR``/``PLUS_TIMES``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import binaryop as bop
+from .binaryop import BinaryOp
+from .monoid import (
+    ANY_MONOID,
+    LAND_MONOID,
+    LOR_MONOID,
+    MAX_MONOID,
+    MIN_MONOID,
+    PLUS_MONOID,
+    Monoid,
+)
+from .types import BOOL, DataType
+
+__all__ = [
+    "Semiring",
+    "MIN_PLUS",
+    "MIN_TIMES",
+    "MIN_FIRST",
+    "MIN_SECOND",
+    "MIN_MIN",
+    "MAX_PLUS",
+    "PLUS_TIMES",
+    "PLUS_MIN",
+    "PLUS_PAIR",
+    "LOR_LAND",
+    "ANY_PAIR",
+    "ANY_SECOND",
+]
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """``(add_monoid, multiply_op)`` pair.
+
+    ``multiply`` combines one value from each operand along the shared
+    dimension; ``add`` reduces the combined products per output slot.
+    """
+
+    name: str
+    add: Monoid
+    multiply: BinaryOp
+
+    def result_type(self, a: DataType, b: DataType) -> DataType:
+        """Domain of the product values before reduction."""
+        return self.multiply.result_type(a, b)
+
+    @staticmethod
+    def define(add: Monoid, multiply: BinaryOp, name: str = "udf_semiring") -> "Semiring":
+        """Create a user-defined semiring."""
+        return Semiring(name=name, add=add, multiply=multiply)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Semiring<{self.name}>"
+
+
+#: tropical semiring — SSSP edge relaxation (``tReq = A_L' (min.+) (t ∘ tBi)``)
+MIN_PLUS = Semiring("MIN_PLUS", MIN_MONOID, bop.PLUS)
+MIN_TIMES = Semiring("MIN_TIMES", MIN_MONOID, bop.TIMES)
+MIN_FIRST = Semiring("MIN_FIRST", MIN_MONOID, bop.FIRST)
+MIN_SECOND = Semiring("MIN_SECOND", MIN_MONOID, bop.SECOND)
+MIN_MIN = Semiring("MIN_MIN", MIN_MONOID, bop.MIN)
+MAX_PLUS = Semiring("MAX_PLUS", MAX_MONOID, bop.PLUS)
+
+#: conventional arithmetic semiring
+PLUS_TIMES = Semiring("PLUS_TIMES", PLUS_MONOID, bop.TIMES)
+PLUS_MIN = Semiring("PLUS_MIN", PLUS_MONOID, bop.MIN)
+#: structural counting (triangle counting / k-truss support computation)
+PLUS_PAIR = Semiring("PLUS_PAIR", PLUS_MONOID, bop.PAIR)
+
+#: boolean reachability (BFS frontier expansion)
+LOR_LAND = Semiring("LOR_LAND", LOR_MONOID, bop.LAND)
+ANY_PAIR = Semiring("ANY_PAIR", ANY_MONOID, bop.PAIR)
+ANY_SECOND = Semiring("ANY_SECOND", ANY_MONOID, bop.SECOND)

@@ -1,0 +1,184 @@
+"""Vectorized kernels on sorted sparse index sets.
+
+Every GraphBLAS object in this package stores its pattern as a sorted,
+duplicate-free ``int64`` index array plus a parallel value array.  The
+operations here — membership, union/intersection/difference merges, grouped
+reductions, segment gathers — are the building blocks shared by the
+element-wise ops, masking, matrix multiply, and assign/extract.
+
+All kernels are NumPy-vectorized (no per-element Python loops), following
+the scientific-Python optimization guidance: the only O(nnz) passes are
+ufunc loops, ``searchsorted``, sorts, and ``reduceat`` group reductions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "as_index_array",
+    "is_sorted_unique",
+    "membership",
+    "intersect",
+    "union_merge",
+    "difference",
+    "group_reduce",
+    "segment_gather",
+    "counting_sort_pairs",
+    "dedupe_coo",
+]
+
+INDEX_DTYPE = np.int64
+
+
+def as_index_array(indices) -> np.ndarray:
+    """Coerce *indices* to a contiguous ``int64`` array (no copy if possible)."""
+    arr = np.ascontiguousarray(indices, dtype=INDEX_DTYPE)
+    if arr.ndim != 1:
+        arr = arr.reshape(-1)
+    return arr
+
+
+def is_sorted_unique(indices: np.ndarray) -> bool:
+    """True when *indices* is strictly increasing (sorted and duplicate-free)."""
+    if len(indices) < 2:
+        return True
+    return bool(np.all(indices[1:] > indices[:-1]))
+
+
+def membership(haystack: np.ndarray, needles: np.ndarray) -> np.ndarray:
+    """Boolean mask over *needles*: which are present in sorted *haystack*."""
+    if len(haystack) == 0 or len(needles) == 0:
+        return np.zeros(len(needles), dtype=bool)
+    pos = np.searchsorted(haystack, needles)
+    pos_clipped = np.minimum(pos, len(haystack) - 1)
+    return haystack[pos_clipped] == needles
+
+
+def intersect(a_idx: np.ndarray, b_idx: np.ndarray):
+    """Intersection of two sorted unique index arrays.
+
+    Returns ``(common, a_pos, b_pos)`` where ``common`` is the sorted
+    intersection and ``a_pos``/``b_pos`` are the positions of those indices
+    inside *a_idx*/*b_idx*.
+    """
+    common, a_pos, b_pos = np.intersect1d(
+        a_idx, b_idx, assume_unique=True, return_indices=True
+    )
+    return common, a_pos, b_pos
+
+
+def union_merge(a_idx: np.ndarray, b_idx: np.ndarray):
+    """Union of two sorted unique index arrays with provenance.
+
+    Returns ``(merged, in_a, in_b, a_pos, b_pos)``:
+
+    - ``merged``: sorted union.
+    - ``in_a`` / ``in_b``: boolean masks over ``merged`` marking which
+      union slots come from *a_idx* / *b_idx* (both True on overlap).
+    - ``a_pos``: for every union slot where ``in_a``, the position in
+      *a_idx* (undefined elsewhere, stored as 0); same for ``b_pos``.
+    """
+    merged = np.union1d(a_idx, b_idx)
+    in_a = membership(a_idx, merged)
+    in_b = membership(b_idx, merged)
+    a_pos = np.zeros(len(merged), dtype=INDEX_DTYPE)
+    b_pos = np.zeros(len(merged), dtype=INDEX_DTYPE)
+    if len(a_idx):
+        a_pos[in_a] = np.searchsorted(a_idx, merged[in_a])
+    if len(b_idx):
+        b_pos[in_b] = np.searchsorted(b_idx, merged[in_b])
+    return merged, in_a, in_b, a_pos, b_pos
+
+
+def difference(a_idx: np.ndarray, b_idx: np.ndarray):
+    """Indices of *a_idx* not present in *b_idx*; returns (kept_values, kept_pos)."""
+    keep = ~membership(b_idx, a_idx)
+    return a_idx[keep], np.nonzero(keep)[0]
+
+
+def group_reduce(keys: np.ndarray, values: np.ndarray, ufunc: np.ufunc):
+    """Reduce *values* grouped by *keys* with a NumPy ufunc.
+
+    *keys* need not be sorted.  Returns ``(unique_keys, reduced)`` with
+    ``unique_keys`` sorted ascending.  This is the scatter-reduce at the
+    heart of ``vxm``/``mxv``/``mxm`` over arbitrary monoids: sort by key,
+    then one ``ufunc.reduceat`` per group boundary.
+    """
+    if len(keys) == 0:
+        return keys[:0].copy(), values[:0].copy()
+    order = np.argsort(keys, kind="stable")
+    sk = keys[order]
+    sv = values[order]
+    boundaries = np.empty(len(sk), dtype=bool)
+    boundaries[0] = True
+    np.not_equal(sk[1:], sk[:-1], out=boundaries[1:])
+    starts = np.nonzero(boundaries)[0]
+    reduced = ufunc.reduceat(sv, starts)
+    return sk[starts], reduced
+
+
+def segment_gather(indptr: np.ndarray, rows: np.ndarray):
+    """Flatten the CSR segments of *rows* into one index stream.
+
+    Given a CSR ``indptr`` and a set of row ids, returns
+    ``(flat, seg_lengths)`` where ``flat`` indexes into the CSR data arrays
+    covering exactly the entries of the requested rows (rows concatenated in
+    the order given), and ``seg_lengths[k]`` is the entry count of
+    ``rows[k]``.  This is the standard vectorized "concatenated ranges"
+    construction (no Python loop over rows).
+    """
+    starts = indptr[rows]
+    ends = indptr[rows + 1]
+    lengths = ends - starts
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=INDEX_DTYPE), lengths
+    # flat[j] = starts[k] + (j - offset[k]) for j in segment k
+    offsets = np.repeat(np.cumsum(lengths) - lengths, lengths)
+    flat = np.arange(total, dtype=INDEX_DTYPE) - offsets + np.repeat(starts, lengths)
+    return flat, lengths
+
+
+def counting_sort_pairs(keys: np.ndarray, n_keys: int, *arrays):
+    """Stable counting sort of parallel arrays by small-integer *keys*.
+
+    Used to build CSR/CSC structures in O(nnz + n).  Returns
+    ``(counts, sorted_arrays...)`` where ``counts`` is the histogram of
+    *keys* (length *n_keys*) — its cumulative sum is the ``indptr``.
+    """
+    counts = np.bincount(keys, minlength=n_keys).astype(INDEX_DTYPE)
+    order = np.argsort(keys, kind="stable")
+    return (counts,) + tuple(arr[order] for arr in arrays)
+
+
+def dedupe_coo(rows: np.ndarray, cols: np.ndarray, values: np.ndarray, ncols: int, dup_ufunc: np.ufunc | None):
+    """Sort COO triples by (row, col) and combine duplicates.
+
+    ``dup_ufunc=None`` keeps the *last* duplicate (GraphBLAS build semantics
+    without a dup operator are an error; matrix import uses SECOND-like
+    behaviour).  Returns deduplicated ``(rows, cols, values)`` sorted
+    row-major.
+    """
+    if len(rows) == 0:
+        return rows.copy(), cols.copy(), values.copy()
+    keys = rows * np.int64(ncols) + cols
+    order = np.argsort(keys, kind="stable")
+    sk = keys[order]
+    sv = values[order]
+    boundaries = np.empty(len(sk), dtype=bool)
+    boundaries[0] = True
+    np.not_equal(sk[1:], sk[:-1], out=boundaries[1:])
+    starts = np.nonzero(boundaries)[0]
+    uk = sk[starts]
+    if dup_ufunc is None:
+        # last occurrence wins: positions are (next_start - 1)
+        ends = np.empty_like(starts)
+        ends[:-1] = starts[1:] - 1
+        ends[-1] = len(sk) - 1
+        vals = sv[ends]
+    else:
+        vals = dup_ufunc.reduceat(sv, starts)
+    out_rows = (uk // ncols).astype(INDEX_DTYPE)
+    out_cols = (uk % ncols).astype(INDEX_DTYPE)
+    return out_rows, out_cols, vals

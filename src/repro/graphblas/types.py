@@ -1,0 +1,174 @@
+"""The GraphBLAS predefined type system mapped onto NumPy dtypes.
+
+GraphBLAS objects (vectors, matrices, scalars) carry a domain type.  The
+spec's predefined types are exposed here as :class:`DataType` singletons
+(``BOOL``, ``INT8`` ... ``UINT64``, ``FP32``, ``FP64``) together with the
+promotion rules used when an operation receives operands of different
+domains (the spec leaves mixed-domain behaviour to casting; we follow
+NumPy's promotion, which is what SuiteSparse does in practice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .info import DomainMismatch
+
+__all__ = [
+    "DataType",
+    "BOOL",
+    "INT8",
+    "INT16",
+    "INT32",
+    "INT64",
+    "UINT8",
+    "UINT16",
+    "UINT32",
+    "UINT64",
+    "FP32",
+    "FP64",
+    "ALL_TYPES",
+    "INTEGER_TYPES",
+    "FLOAT_TYPES",
+    "from_dtype",
+    "promote",
+    "default_identity_for",
+]
+
+
+@dataclass(frozen=True)
+class DataType:
+    """A GraphBLAS domain type.
+
+    Attributes
+    ----------
+    name:
+        The spec name (``"FP64"``, ``"INT32"``, ...).
+    np_dtype:
+        The NumPy dtype used for storage.
+    is_bool / is_integer / is_float:
+        Classification flags used by operator validity checks.
+    """
+
+    name: str
+    np_dtype: np.dtype = field(compare=False)
+    is_bool: bool = False
+    is_integer: bool = False
+    is_float: bool = False
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"GrB_{self.name}"
+
+    @property
+    def zero(self):
+        """The additive identity literal in this domain."""
+        return self.np_dtype.type(0)
+
+    @property
+    def one(self):
+        """The multiplicative identity literal in this domain."""
+        return self.np_dtype.type(1)
+
+    def cast_array(self, values: np.ndarray) -> np.ndarray:
+        """Cast *values* into this domain's storage dtype (no copy if same)."""
+        return np.asarray(values, dtype=self.np_dtype)
+
+    def cast_scalar(self, value):
+        """Cast a Python/NumPy scalar into this domain."""
+        return self.np_dtype.type(value)
+
+
+BOOL = DataType("BOOL", np.dtype(np.bool_), is_bool=True)
+INT8 = DataType("INT8", np.dtype(np.int8), is_integer=True)
+INT16 = DataType("INT16", np.dtype(np.int16), is_integer=True)
+INT32 = DataType("INT32", np.dtype(np.int32), is_integer=True)
+INT64 = DataType("INT64", np.dtype(np.int64), is_integer=True)
+UINT8 = DataType("UINT8", np.dtype(np.uint8), is_integer=True)
+UINT16 = DataType("UINT16", np.dtype(np.uint16), is_integer=True)
+UINT32 = DataType("UINT32", np.dtype(np.uint32), is_integer=True)
+UINT64 = DataType("UINT64", np.dtype(np.uint64), is_integer=True)
+FP32 = DataType("FP32", np.dtype(np.float32), is_float=True)
+FP64 = DataType("FP64", np.dtype(np.float64), is_float=True)
+
+ALL_TYPES = (
+    BOOL,
+    INT8,
+    INT16,
+    INT32,
+    INT64,
+    UINT8,
+    UINT16,
+    UINT32,
+    UINT64,
+    FP32,
+    FP64,
+)
+INTEGER_TYPES = tuple(t for t in ALL_TYPES if t.is_integer)
+FLOAT_TYPES = (FP32, FP64)
+
+_BY_NP_DTYPE = {t.np_dtype: t for t in ALL_TYPES}
+_BY_NAME = {t.name: t for t in ALL_TYPES}
+
+
+def from_dtype(dtype) -> DataType:
+    """Look up the :class:`DataType` for a NumPy dtype (or dtype-like).
+
+    Raises
+    ------
+    DomainMismatch
+        If the dtype has no GraphBLAS counterpart (e.g. complex, object).
+    """
+    if isinstance(dtype, DataType):
+        return dtype
+    if isinstance(dtype, str) and dtype in _BY_NAME:
+        return _BY_NAME[dtype]
+    np_dtype = np.dtype(dtype)
+    try:
+        return _BY_NP_DTYPE[np_dtype]
+    except KeyError:
+        raise DomainMismatch(f"no GraphBLAS type for dtype {np_dtype!r}") from None
+
+
+def promote(a: DataType, b: DataType) -> DataType:
+    """Return the promoted domain for mixed-type operands (NumPy rules)."""
+    if a is b:
+        return a
+    return from_dtype(np.promote_types(a.np_dtype, b.np_dtype))
+
+
+def default_identity_for(dtype: DataType, kind: str):
+    """Identity element used by reductions when a monoid needs one.
+
+    ``kind`` is one of ``"min"``, ``"max"``, ``"plus"``, ``"times"``,
+    ``"lor"``, ``"land"``, ``"lxor"``, ``"eq"``, ``"any"``, ``"bor"``,
+    ``"band"``.  ``min``/``max`` identities are +inf/-inf in floating
+    domains and the integer extrema otherwise, exactly as the predefined
+    GraphBLAS monoids specify.
+    """
+    np_dtype = dtype.np_dtype
+    if kind == "min":
+        if dtype.is_float:
+            return np_dtype.type(np.inf)
+        if dtype.is_bool:
+            return np.bool_(True)
+        return np.iinfo(np_dtype).max
+    if kind == "max":
+        if dtype.is_float:
+            return np_dtype.type(-np.inf)
+        if dtype.is_bool:
+            return np.bool_(False)
+        return np.iinfo(np_dtype).min
+    if kind == "plus" or kind == "lor" or kind == "lxor" or kind == "bor":
+        return np_dtype.type(0) if not dtype.is_bool else np.bool_(False)
+    if kind == "times" or kind == "land" or kind == "eq":
+        return np_dtype.type(1) if not dtype.is_bool else np.bool_(True)
+    if kind == "band":
+        if dtype.is_integer:
+            return np_dtype.type(~np_dtype.type(0))
+        return np_dtype.type(1)
+    if kind == "any":
+        # ANY has no true identity; GraphBLAS uses an arbitrary stored value.
+        return np_dtype.type(0)
+    raise ValueError(f"unknown monoid identity kind {kind!r}")

@@ -1,0 +1,115 @@
+"""GraphBLAS unary operators (``GrB_UnaryOp``).
+
+A unary operator maps every stored value of a collection through a scalar
+function; here the function acts on whole NumPy value arrays at once.  The
+paper's Fig. 2 relies on *user-defined* unary ops that capture a scalar
+threshold (``delta_leq``, ``delta_gt``, ``delta_irange``, ``delta_igeq``);
+:meth:`UnaryOp.define` plus the factory helpers at the bottom of this module
+reproduce those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .types import BOOL, DataType
+
+__all__ = [
+    "UnaryOp",
+    "IDENTITY",
+    "AINV",
+    "MINV",
+    "LNOT",
+    "ABS",
+    "ONE",
+    "threshold_leq",
+    "threshold_gt",
+    "threshold_geq",
+    "threshold_lt",
+    "range_filter",
+]
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    """A named unary operator ``z = f(x)`` acting on value arrays.
+
+    Attributes
+    ----------
+    name:
+        Diagnostic name.
+    fn:
+        Vectorized callable mapping an ndarray of inputs to outputs.
+    out_type:
+        Fixed output :class:`~repro.graphblas.types.DataType`, or ``None``
+        to keep the input domain.
+    """
+
+    name: str
+    fn: Callable[[np.ndarray], np.ndarray]
+    out_type: DataType | None = None
+
+    def __call__(self, values: np.ndarray) -> np.ndarray:
+        out = self.fn(values)
+        if self.out_type is not None:
+            out = np.asarray(out, dtype=self.out_type.np_dtype)
+        return np.asarray(out)
+
+    def result_type(self, in_type: DataType) -> DataType:
+        """Domain of the result given the input domain."""
+        return self.out_type if self.out_type is not None else in_type
+
+    @staticmethod
+    def define(fn: Callable[[np.ndarray], np.ndarray], name: str = "udf", out_type: DataType | None = None) -> "UnaryOp":
+        """Create a user-defined unary op from a vectorized callable."""
+        return UnaryOp(name=name, fn=fn, out_type=out_type)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"UnaryOp<{self.name}>"
+
+
+def _safe_minv(x: np.ndarray) -> np.ndarray:
+    with np.errstate(divide="ignore", over="ignore"):
+        return 1.0 / x
+
+
+IDENTITY = UnaryOp("IDENTITY", lambda x: x)
+AINV = UnaryOp("AINV", np.negative)
+MINV = UnaryOp("MINV", _safe_minv)
+LNOT = UnaryOp("LNOT", np.logical_not, out_type=BOOL)
+ABS = UnaryOp("ABS", np.abs)
+ONE = UnaryOp("ONE", np.ones_like)
+
+
+# -- user-defined threshold factories (the paper's delta_* operators) -------
+
+def threshold_leq(delta: float, name: str | None = None) -> UnaryOp:
+    """``x <= delta`` — the paper's ``delta_leq`` (light-edge test)."""
+    return UnaryOp(name or f"LEQ[{delta}]", lambda x: x <= delta, out_type=BOOL)
+
+
+def threshold_gt(delta: float, name: str | None = None) -> UnaryOp:
+    """``x > delta`` — the paper's ``delta_gt`` (heavy-edge test)."""
+    return UnaryOp(name or f"GT[{delta}]", lambda x: x > delta, out_type=BOOL)
+
+
+def threshold_geq(bound: float, name: str | None = None) -> UnaryOp:
+    """``x >= bound`` — the paper's ``delta_igeq`` (outer-loop test)."""
+    return UnaryOp(name or f"GEQ[{bound}]", lambda x: x >= bound, out_type=BOOL)
+
+
+def threshold_lt(bound: float, name: str | None = None) -> UnaryOp:
+    """``x < bound``."""
+    return UnaryOp(name or f"LT[{bound}]", lambda x: x < bound, out_type=BOOL)
+
+
+def range_filter(lo: float, hi: float, name: str | None = None) -> UnaryOp:
+    """``lo <= x < hi`` — the paper's ``delta_irange`` (bucket membership)."""
+    return UnaryOp(
+        name or f"RANGE[{lo},{hi})",
+        lambda x: (x >= lo) & (x < hi),
+        out_type=BOOL,
+    )

@@ -1,0 +1,324 @@
+"""``GrB_Vector``: a typed sparse vector with a sorted index pattern.
+
+Storage is two parallel arrays — strictly increasing ``int64`` indices and
+their values — which makes membership tests, merges, and masked writes
+pure-NumPy operations (see :mod:`repro.graphblas.sparseutil`).
+
+Operation entry points (``ewise_add``, ``apply``, ``vxm``, ...) are thin
+methods delegating to :mod:`repro.graphblas.operations`; the full
+mask/accumulator/descriptor machinery is available on each.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from .info import DimensionMismatch, InvalidIndex, InvalidValue, NoValue
+from .sparseutil import INDEX_DTYPE, as_index_array, dedupe_coo, is_sorted_unique
+from .types import DataType, FP64, from_dtype
+
+__all__ = ["Vector"]
+
+
+class Vector:
+    """A sparse GraphBLAS vector of fixed logical ``size``.
+
+    Create with :meth:`Vector.new`, :meth:`Vector.from_coo`,
+    :meth:`Vector.from_dense`, or :meth:`Vector.full`.
+    """
+
+    __slots__ = ("size", "dtype", "_indices", "_values")
+
+    def __init__(self, dtype: DataType, size: int):
+        if size < 0:
+            raise InvalidValue(f"negative vector size {size}")
+        self.size = int(size)
+        self.dtype = from_dtype(dtype)
+        self._indices = np.empty(0, dtype=INDEX_DTYPE)
+        self._values = np.empty(0, dtype=self.dtype.np_dtype)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def new(cls, dtype: DataType = FP64, size: int = 0) -> "Vector":
+        """``GrB_Vector_new`` — an empty vector of the given domain/size."""
+        return cls(dtype, size)
+
+    @classmethod
+    def from_coo(
+        cls,
+        indices: Iterable[int],
+        values,
+        size: int,
+        dtype: DataType | None = None,
+        dup_op=None,
+    ) -> "Vector":
+        """Build from (index, value) pairs (``GrB_Vector_build``).
+
+        Duplicate indices are combined with *dup_op* (a
+        :class:`~repro.graphblas.binaryop.BinaryOp`); without one the last
+        duplicate wins.
+        """
+        idx = as_index_array(indices)
+        vals = np.asarray(values)
+        if vals.ndim == 0:
+            vals = np.broadcast_to(vals, idx.shape).copy()
+        if len(idx) != len(vals):
+            raise DimensionMismatch("indices and values length differ")
+        if len(idx) and (idx.min() < 0 or idx.max() >= size):
+            raise InvalidIndex(f"index out of range for size {size}")
+        dtype = from_dtype(dtype) if dtype is not None else from_dtype(vals.dtype)
+        dup_ufunc = None
+        if dup_op is not None:
+            dup_ufunc = dup_op.ufunc if dup_op.ufunc is not None else np.frompyfunc(dup_op.fn, 2, 1)
+        rows = np.zeros(len(idx), dtype=INDEX_DTYPE)
+        _, cols, vals = dedupe_coo(rows, idx, vals, max(size, 1), dup_ufunc)
+        out = cls(dtype, size)
+        out._set_data(cols, dtype.cast_array(vals))
+        return out
+
+    @classmethod
+    def from_dense(cls, array, missing=None, dtype: DataType | None = None) -> "Vector":
+        """Build from a dense array; entries equal to *missing* are dropped.
+
+        ``missing=None`` keeps every position (a fully dense pattern);
+        ``missing=np.nan`` / a sentinel drops those.
+        """
+        arr = np.asarray(array)
+        dtype = from_dtype(dtype) if dtype is not None else from_dtype(arr.dtype)
+        out = cls(dtype, arr.shape[0])
+        if missing is None:
+            keep = np.ones(arr.shape[0], dtype=bool)
+        elif isinstance(missing, float) and np.isnan(missing):
+            keep = ~np.isnan(arr)
+        else:
+            keep = arr != missing
+        idx = np.nonzero(keep)[0].astype(INDEX_DTYPE)
+        out._set_data(idx, dtype.cast_array(arr[keep]))
+        return out
+
+    @classmethod
+    def full(cls, value, size: int, dtype: DataType | None = None) -> "Vector":
+        """A vector with *every* position stored and set to *value*.
+
+        This is how the linear-algebraic SSSP represents ``t = ∞``.
+        """
+        dtype = from_dtype(dtype) if dtype is not None else from_dtype(np.asarray(value).dtype)
+        out = cls(dtype, size)
+        out._set_data(
+            np.arange(size, dtype=INDEX_DTYPE),
+            np.full(size, value, dtype=dtype.np_dtype),
+        )
+        return out
+
+    @classmethod
+    def sparse_like(cls, other: "Vector", dtype: DataType | None = None) -> "Vector":
+        """Empty vector with the same size (and domain unless overridden)."""
+        return cls(dtype or other.dtype, other.size)
+
+    # -- internal data management -----------------------------------------
+
+    def _set_data(self, indices: np.ndarray, values: np.ndarray) -> None:
+        assert is_sorted_unique(indices), "internal: pattern must be sorted/unique"
+        self._indices = indices
+        self._values = np.ascontiguousarray(values, dtype=self.dtype.np_dtype)
+
+    # Key-space API shared with Matrix (used by the mask write pipeline).
+    def _keys(self) -> np.ndarray:
+        return self._indices
+
+    def _set_keys(self, keys: np.ndarray, values: np.ndarray) -> None:
+        self._set_data(keys, values)
+
+    def _check_same_shape(self, other, what: str) -> None:
+        if not isinstance(other, Vector) or other.size != self.size:
+            raise DimensionMismatch(
+                f"{what} shape mismatch: expected vector of size {self.size}"
+            )
+
+    # -- basic properties ---------------------------------------------------
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Stored indices (sorted, read-only view)."""
+        v = self._indices.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def values(self) -> np.ndarray:
+        """Stored values parallel to :attr:`indices` (read-only view)."""
+        v = self._values.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def nvals(self) -> int:
+        """``GrB_Vector_nvals`` — number of stored entries."""
+        return len(self._indices)
+
+    @property
+    def shape(self) -> tuple[int]:
+        return (self.size,)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Vector<{self.dtype.name}, size={self.size}, nvals={self.nvals}>"
+
+    # -- element access ------------------------------------------------------
+
+    def __contains__(self, index: int) -> bool:
+        pos = np.searchsorted(self._indices, index)
+        return pos < len(self._indices) and self._indices[pos] == index
+
+    def extract_element(self, index: int):
+        """``GrB_Vector_extractElement`` — raises :class:`NoValue` if absent."""
+        if not 0 <= index < self.size:
+            raise InvalidIndex(f"index {index} out of range [0, {self.size})")
+        pos = np.searchsorted(self._indices, index)
+        if pos < len(self._indices) and self._indices[pos] == index:
+            return self._values[pos]
+        raise NoValue(f"no stored value at index {index}")
+
+    def get(self, index: int, default=None):
+        """Like :meth:`extract_element` but returns *default* when absent."""
+        try:
+            return self.extract_element(index)
+        except NoValue:
+            return default
+
+    def set_element(self, index: int, value) -> "Vector":
+        """``GrB_Vector_setElement`` — insert or overwrite one entry."""
+        if not 0 <= index < self.size:
+            raise InvalidIndex(f"index {index} out of range [0, {self.size})")
+        pos = int(np.searchsorted(self._indices, index))
+        value = self.dtype.cast_scalar(value)
+        if pos < len(self._indices) and self._indices[pos] == index:
+            self._values[pos] = value
+        else:
+            self._indices = np.insert(self._indices, pos, index)
+            self._values = np.insert(self._values, pos, value)
+        return self
+
+    def remove_element(self, index: int) -> "Vector":
+        """``GrB_Vector_removeElement`` — delete one entry if present."""
+        pos = int(np.searchsorted(self._indices, index))
+        if pos < len(self._indices) and self._indices[pos] == index:
+            self._indices = np.delete(self._indices, pos)
+            self._values = np.delete(self._values, pos)
+        return self
+
+    # -- whole-object operations ---------------------------------------------
+
+    def clear(self) -> "Vector":
+        """``GrB_Vector_clear`` — drop all entries (size/domain kept)."""
+        self._indices = np.empty(0, dtype=INDEX_DTYPE)
+        self._values = np.empty(0, dtype=self.dtype.np_dtype)
+        return self
+
+    def dup(self) -> "Vector":
+        """``GrB_Vector_dup`` — deep copy."""
+        out = Vector(self.dtype, self.size)
+        out._set_data(self._indices.copy(), self._values.copy())
+        return out
+
+    def to_coo(self):
+        """Return ``(indices, values)`` copies (``GrB_Vector_extractTuples``)."""
+        return self._indices.copy(), self._values.copy()
+
+    def to_dense(self, fill=0) -> np.ndarray:
+        """Densify with *fill* in unstored positions."""
+        out = np.full(self.size, fill, dtype=self.dtype.np_dtype)
+        out[self._indices] = self._values
+        return out
+
+    def to_dict(self) -> dict:
+        """``{index: value}`` mapping of stored entries."""
+        return {int(i): v for i, v in zip(self._indices, self._values)}
+
+    def isequal(self, other: "Vector") -> bool:
+        """Same size, same pattern, identical values (no tolerance)."""
+        return (
+            isinstance(other, Vector)
+            and self.size == other.size
+            and np.array_equal(self._indices, other._indices)
+            and np.array_equal(self._values, other._values)
+        )
+
+    def isclose(self, other: "Vector", rel_tol: float = 1e-9, abs_tol: float = 0.0) -> bool:
+        """Same pattern, values equal within tolerance."""
+        return (
+            isinstance(other, Vector)
+            and self.size == other.size
+            and np.array_equal(self._indices, other._indices)
+            and bool(
+                np.allclose(
+                    self._values.astype(np.float64, copy=False),
+                    other._values.astype(np.float64, copy=False),
+                    rtol=rel_tol,
+                    atol=abs_tol,
+                    equal_nan=True,
+                )
+            )
+        )
+
+    def wait(self) -> "Vector":
+        """``GrB_Vector_wait`` — no-op (this implementation is eager)."""
+        return self
+
+    # -- delegated operations -------------------------------------------------
+
+    def apply(self, op, mask=None, accum=None, desc=None, out=None) -> "Vector":
+        """Map stored values through a unary op; see :func:`operations.apply`."""
+        from . import operations
+
+        return operations.apply(out if out is not None else Vector(op.result_type(self.dtype), self.size), op, self, mask=mask, accum=accum, desc=desc)
+
+    def select(self, op, thunk=None, mask=None, accum=None, desc=None, out=None) -> "Vector":
+        """Keep entries passing an index-unary predicate (``GrB_select``)."""
+        from . import operations
+
+        return operations.select(out if out is not None else Vector(self.dtype, self.size), op, self, thunk, mask=mask, accum=accum, desc=desc)
+
+    def ewise_add(self, other: "Vector", op, mask=None, accum=None, desc=None, out=None) -> "Vector":
+        """Union element-wise combine (``GrB_eWiseAdd``)."""
+        from . import operations
+
+        dtype = op.result_type(self.dtype, other.dtype)
+        return operations.ewise_add(out if out is not None else Vector(dtype, self.size), op, self, other, mask=mask, accum=accum, desc=desc)
+
+    def ewise_mult(self, other: "Vector", op, mask=None, accum=None, desc=None, out=None) -> "Vector":
+        """Intersection element-wise combine (``GrB_eWiseMult``)."""
+        from . import operations
+
+        dtype = op.result_type(self.dtype, other.dtype)
+        return operations.ewise_mult(out if out is not None else Vector(dtype, self.size), op, self, other, mask=mask, accum=accum, desc=desc)
+
+    def vxm(self, matrix, semiring, mask=None, accum=None, desc=None, out=None) -> "Vector":
+        """Row-vector × matrix over a semiring (``GrB_vxm``)."""
+        from . import operations
+
+        dtype = semiring.result_type(self.dtype, matrix.dtype)
+        return operations.vxm(out if out is not None else Vector(dtype, matrix.ncols), semiring, self, matrix, mask=mask, accum=accum, desc=desc)
+
+    def reduce(self, monoid, dtype: DataType | None = None):
+        """Reduce all stored values to a scalar (``GrB_Vector_reduce``)."""
+        from . import operations
+
+        return operations.reduce_vector_to_scalar(monoid, self, dtype=dtype)
+
+    def extract(self, indices, mask=None, accum=None, desc=None, out=None) -> "Vector":
+        """Subvector extraction (``GrB_extract``)."""
+        from . import operations
+
+        return operations.extract_subvector(out, self, indices, mask=mask, accum=accum, desc=desc)
+
+    def assign_scalar(self, value, indices=None, mask=None, accum=None, desc=None) -> "Vector":
+        """Assign one scalar across positions (``GrB_assign``)."""
+        from . import operations
+
+        return operations.assign_scalar_vector(self, value, indices, mask=mask, accum=accum, desc=desc)

@@ -1,0 +1,59 @@
+"""Graph substrate: container, generators, datasets, IO, statistics.
+
+The evaluation in the paper runs on symmetric, undirected, unit-weight
+graphs from SNAP and the GraphChallenge; this package provides the
+:class:`Graph` container those flow through, synthetic stand-ins for the
+dataset families (no network access here — see
+:mod:`repro.graphs.datasets`), loaders for the real file formats, and the
+summary statistics the figures are sorted by.
+"""
+
+from .graph import Graph
+from .generators import (
+    erdos_renyi,
+    barabasi_albert,
+    watts_strogatz,
+    rmat,
+    grid_2d,
+    road_network,
+    path_graph,
+    star_graph,
+    complete_graph,
+    cycle_graph,
+)
+from .weights import assign_weights, unit_weights
+from .datasets import load, catalog, DatasetSpec
+from .io import (
+    read_snap_edgelist,
+    write_snap_edgelist,
+    read_matrix_market,
+    write_matrix_market,
+)
+from .stats import graph_stats, GraphStats
+from .validation import validate_graph
+
+__all__ = [
+    "Graph",
+    "erdos_renyi",
+    "barabasi_albert",
+    "watts_strogatz",
+    "rmat",
+    "grid_2d",
+    "road_network",
+    "path_graph",
+    "star_graph",
+    "complete_graph",
+    "cycle_graph",
+    "assign_weights",
+    "unit_weights",
+    "load",
+    "catalog",
+    "DatasetSpec",
+    "read_snap_edgelist",
+    "write_snap_edgelist",
+    "read_matrix_market",
+    "write_matrix_market",
+    "graph_stats",
+    "GraphStats",
+    "validate_graph",
+]

@@ -1,0 +1,150 @@
+"""Graph file IO: SNAP edge lists and MatrixMarket coordinate files.
+
+These are the on-disk formats of the paper's dataset sources (SNAP
+publishes ``.txt`` edge lists; GraphChallenge publishes ``.mmio``/``.mtx``
+MatrixMarket).  Both readers accept the real files, so downloaded datasets
+drop straight into the benchmark suite; the writers let tests round-trip.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = [
+    "read_snap_edgelist",
+    "write_snap_edgelist",
+    "read_matrix_market",
+    "write_matrix_market",
+]
+
+
+def _open_maybe_gz(path, mode: str):
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
+
+
+def read_snap_edgelist(
+    path,
+    directed: bool = False,
+    name: str | None = None,
+    relabel: bool = True,
+) -> Graph:
+    """Read a SNAP-style edge list.
+
+    Format: ``#``-prefixed comment lines, then one edge per line as
+    ``src dst [weight]`` separated by whitespace.  Vertex ids are arbitrary
+    non-negative integers; ``relabel=True`` compacts them to ``0..n-1``
+    (SNAP ids are often sparse).
+    """
+    srcs: list[np.ndarray] = []
+    dsts: list[np.ndarray] = []
+    wgts: list[np.ndarray] = []
+    with _open_maybe_gz(path, "r") as fh:
+        rows = [
+            line.split()
+            for line in fh
+            if line.strip() and not line.lstrip().startswith(("#", "%"))
+        ]
+    if not rows:
+        return Graph.empty(0, name=name or str(path))
+    ncol = len(rows[0])
+    arr = np.array(
+        [r[:3] if ncol >= 3 else r[:2] for r in rows], dtype=np.float64
+    )
+    src = arr[:, 0].astype(np.int64)
+    dst = arr[:, 1].astype(np.int64)
+    w = arr[:, 2] if arr.shape[1] >= 3 else None
+    if relabel:
+        uniq, inv = np.unique(np.concatenate([src, dst]), return_inverse=True)
+        src = inv[: len(src)].astype(np.int64)
+        dst = inv[len(src) :].astype(np.int64)
+        n = len(uniq)
+    else:
+        n = int(max(src.max(initial=-1), dst.max(initial=-1)) + 1)
+    return Graph.from_edges(
+        src, dst, w, n=n, name=name or Path(path).stem, directed=directed
+    )
+
+
+def write_snap_edgelist(g: Graph, path, header: bool = True) -> None:
+    """Write a SNAP-style edge list (weights included when non-unit).
+
+    Undirected graphs emit each edge once in canonical (low, high) order.
+    """
+    src, dst, w = g.to_edges()
+    if not g.directed:
+        keep = src <= dst
+        src, dst, w = src[keep], dst[keep], w[keep]
+    unit = bool(np.all(w == 1.0)) if len(w) else True
+    with _open_maybe_gz(path, "w") as fh:
+        if header:
+            kind = "directed" if g.directed else "undirected"
+            fh.write(f"# {g.name}: {kind}, |V|={g.num_vertices}, edges={len(src)}\n")
+            fh.write("# FromNodeId\tToNodeId" + ("" if unit else "\tWeight") + "\n")
+        if unit:
+            for s, d in zip(src, dst):
+                fh.write(f"{s}\t{d}\n")
+        else:
+            for s, d, x in zip(src, dst, w):
+                fh.write(f"{s}\t{d}\t{x:.17g}\n")
+
+
+def read_matrix_market(path, name: str | None = None) -> Graph:
+    """Read a MatrixMarket coordinate file as a graph.
+
+    Supports ``matrix coordinate (real|integer|pattern)
+    (general|symmetric)``; symmetric files are expanded to both
+    orientations.  1-based indices per the format.
+    """
+    with _open_maybe_gz(path, "r") as fh:
+        header = fh.readline().strip().lower().split()
+        if len(header) < 4 or header[0] != "%%matrixmarket" or header[1] != "matrix":
+            raise ValueError(f"not a MatrixMarket coordinate file: {path}")
+        if header[2] != "coordinate":
+            raise ValueError("only coordinate (sparse) MatrixMarket supported")
+        field = header[3]
+        symmetry = header[4] if len(header) > 4 else "general"
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        nrows, ncols, nnz = (int(tok) for tok in line.split()[:3])
+        if nrows != ncols:
+            raise ValueError("adjacency MatrixMarket must be square")
+        body = fh.read().split()
+    per = 2 if field == "pattern" else 3
+    data = np.array(body, dtype=np.float64).reshape(nnz, per) if nnz else np.empty((0, per))
+    src = data[:, 0].astype(np.int64) - 1
+    dst = data[:, 1].astype(np.int64) - 1
+    w = data[:, 2] if per == 3 else None
+    directed = symmetry == "general"
+    return Graph.from_edges(
+        src, dst, w, n=nrows, name=name or Path(path).stem, directed=directed
+    )
+
+
+def write_matrix_market(g: Graph, path) -> None:
+    """Write the adjacency as MatrixMarket coordinate real.
+
+    Undirected graphs are emitted with ``symmetric`` storage (lower
+    triangle), matching GraphChallenge conventions.
+    """
+    src, dst, w = g.to_edges()
+    symmetric = not g.directed
+    if symmetric:
+        keep = src >= dst
+        src, dst, w = src[keep], dst[keep], w[keep]
+    with _open_maybe_gz(path, "w") as fh:
+        sym = "symmetric" if symmetric else "general"
+        fh.write(f"%%MatrixMarket matrix coordinate real {sym}\n")
+        fh.write(f"% {g.name}\n")
+        n = g.num_vertices
+        fh.write(f"{n} {n} {len(src)}\n")
+        for s, d, x in zip(src, dst, w):
+            fh.write(f"{s + 1} {d + 1} {x:.17g}\n")

@@ -1,0 +1,76 @@
+"""Structural validation of :class:`~repro.graphs.graph.Graph` objects.
+
+Checks the CSR invariants every algorithm in this package assumes, plus
+the simple-graph properties the paper requires (empty diagonal, symmetric
+storage for undirected graphs).  Tests and the dataset loaders run these;
+property-based tests assert generators always satisfy them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = ["validate_graph", "GraphInvariantError"]
+
+
+class GraphInvariantError(AssertionError):
+    """A structural invariant of a Graph was violated."""
+
+
+def _fail(msg: str):
+    raise GraphInvariantError(msg)
+
+
+def validate_graph(g: Graph, check_symmetry: bool | None = None) -> Graph:
+    """Validate CSR and simple-graph invariants; returns *g* on success.
+
+    Parameters
+    ----------
+    check_symmetry:
+        Force (or skip) the symmetric-storage check; default checks
+        exactly when ``g.directed`` is False.
+    """
+    n = g.num_vertices
+    indptr, indices, weights = g.indptr, g.indices, g.weights
+
+    if len(indptr) != n + 1:
+        _fail(f"indptr length {len(indptr)} != n+1 = {n + 1}")
+    if indptr[0] != 0:
+        _fail("indptr[0] != 0")
+    if indptr[-1] != len(indices):
+        _fail(f"indptr[-1]={indptr[-1]} != nnz={len(indices)}")
+    if len(indices) != len(weights):
+        _fail("indices and weights length differ")
+    if len(indptr) > 1 and np.any(np.diff(indptr) < 0):
+        _fail("indptr not monotone")
+    if len(indices):
+        if indices.min() < 0 or indices.max() >= n:
+            _fail("column index out of range")
+        # sorted + unique within each row
+        row_of = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+        keys = row_of * np.int64(n) + indices
+        if np.any(keys[1:] <= keys[:-1]):
+            _fail("columns not strictly sorted within rows")
+        if np.any(row_of == indices):
+            _fail("self-loop present (diagonal must be empty)")
+        if not np.all(np.isfinite(weights)):
+            _fail("non-finite edge weight")
+        if np.any(weights < 0):
+            _fail("negative edge weight (SSSP requires non-negative)")
+
+    if check_symmetry is None:
+        check_symmetry = not g.directed
+    if check_symmetry and len(indices):
+        src, dst, w = g.to_edges()
+        fwd = set(zip(src.tolist(), dst.tolist()))
+        for s, d in zip(src.tolist(), dst.tolist()):
+            if (d, s) not in fwd:
+                _fail(f"missing reverse edge for ({s}, {d}) in undirected graph")
+        # weights must match across orientations
+        key_fwd = {(s, d): x for s, d, x in zip(src.tolist(), dst.tolist(), w.tolist())}
+        for (s, d), x in key_fwd.items():
+            if key_fwd[(d, s)] != x:
+                _fail(f"asymmetric weight on undirected edge ({s}, {d})")
+    return g

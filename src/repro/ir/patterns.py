@@ -1,0 +1,133 @@
+"""Step 1 of the paper's methodology: vertex/edge patterns → linear algebra.
+
+§II of the paper catalogues the design patterns graph-algorithm authors
+write in, and gives each a linear-algebraic equivalent.  This module is
+that catalogue as executable constructors — each function takes
+pattern-level arguments (vertex sets, edge predicates) and emits IR
+expressions/statements from :mod:`repro.ir.nodes`:
+
+=============================================  ==============================
+Vertex/edge construct (paper §)                Linear-algebra form
+=============================================  ==============================
+set of vertices (II.D)                         vector of size |V|
+set of edges (II.D)                            |V|×|V| matrix
+op on incoming edges of all v (II.B)           op over columns of A
+op on outgoing edges of all v (II.B)           op over columns of Aᵀ
+op applied to every edge (II.C)                point-wise βA
+edge values from matrix algebra (II.C)         result ∘ A to kill fill-in
+filter vertices by predicate (II.E)            b ∘ v (Hadamard with mask)
+filter edges by predicate (II.E)               B ∘ A
+set union S ∪ B (III.D)                        (S + B) > 0
+simultaneous relaxation (IV.C)                 Aᵀ (min.+) (t ∘ b)
+bucket membership (IV.B)                       iΔ ≤ t < (i+1)Δ
+=============================================  ==============================
+"""
+
+from __future__ import annotations
+
+from ..graphblas.binaryop import LOR, MIN
+from ..graphblas.semiring import MIN_PLUS
+from ..graphblas.unaryop import IDENTITY, UnaryOp, range_filter
+from .nodes import (
+    ApplyUnary,
+    Assign,
+    EWiseAdd,
+    EWiseMult,
+    Expr,
+    Ref,
+    Statement,
+    VxM,
+)
+
+__all__ = [
+    "vertex_set",
+    "edge_set",
+    "filter_vertices",
+    "filter_edges",
+    "edge_pointwise",
+    "eliminate_fillin",
+    "set_union",
+    "relax_edges",
+    "bucket_membership",
+    "min_merge",
+]
+
+
+def _ref(x) -> Expr:
+    return x if isinstance(x, Expr) else Ref(str(x))
+
+
+def vertex_set(name: str) -> Ref:
+    """A set of vertices is a vector of size |V| (§II.D)."""
+    return Ref(name)
+
+
+def edge_set(name: str) -> Ref:
+    """A set of edges is a |V|×|V| matrix (§II.D)."""
+    return Ref(name)
+
+
+def filter_vertices(target: str, source, predicate: UnaryOp) -> list[Statement]:
+    """Vertex filtering (§II.E): keep vertices satisfying *predicate*.
+
+    Emits the two-call idiom the paper highlights (§V.B): one ``apply``
+    computing the Boolean predicate, then a masked identity ``apply`` so
+    falsified entries are not stored.  ``target`` receives the filtered
+    *values*; ``target + "_pred"`` holds the predicate vector.
+    """
+    pred_name = f"{target}_pred"
+    return [
+        Assign(pred_name, ApplyUnary(predicate, _ref(source))),
+        Assign(target, ApplyUnary(IDENTITY, _ref(source)), mask=pred_name, replace=True),
+    ]
+
+
+def filter_edges(target: str, source, predicate: UnaryOp) -> list[Statement]:
+    """Edge filtering (§II.E): ``A_G1 = B ∘ A_G`` with ``B = predicate(A)``."""
+    pred_name = f"{target}_pred"
+    return [
+        Assign(pred_name, ApplyUnary(predicate, _ref(source))),
+        Assign(target, ApplyUnary(IDENTITY, _ref(source)), mask=pred_name, replace=True),
+    ]
+
+
+def edge_pointwise(op: UnaryOp, edges) -> Expr:
+    """Apply *op* to every edge simultaneously (§II.C: ``βA``)."""
+    return ApplyUnary(op, _ref(edges))
+
+
+def eliminate_fillin(computed, original) -> Expr:
+    """§II.C: Hadamard with the original adjacency to kill spurious
+    fill-in, e.g. k-truss's ``S = AᵀA ∘ A``."""
+    return EWiseMult(MIN, _ref(computed), _ref(original))  # any op; mask kills fill-in
+
+
+def set_union(target: str, a, b) -> Statement:
+    """Set union via saturating add (§III.D): ``S = ((S + B) > 0)``.
+
+    With Boolean vectors LOR is the saturating add, which is exactly what
+    Fig. 2 line 45 uses.
+    """
+    return Assign(target, EWiseAdd(LOR, _ref(a), _ref(b)))
+
+
+def relax_edges(tent, bucket_filtered, edges, semiring=MIN_PLUS) -> Expr:
+    """Simultaneous edge relaxation (§IV.C):
+    ``Req = A' (min.+) (t ∘ tBi)`` — *bucket_filtered* is the already
+    masked ``t ∘ tBi`` vector."""
+    return VxM(semiring, _ref(bucket_filtered), _ref(edges))
+
+
+def bucket_membership(i_times_delta: str = "lo", next_boundary: str = "hi"):
+    """Bucket filter factory (§IV.B): ``iΔ ≤ t < (i+1)Δ`` as a thunked
+    unary op reading the current loop scalars from the environment."""
+
+    def thunk(env) -> UnaryOp:
+        return range_filter(env[i_times_delta], env[next_boundary])
+
+    return thunk
+
+
+def min_merge(target: str, other) -> Statement:
+    """``t = min(t, tReq)`` (§IV.C) via eWiseAdd on the MIN operator."""
+    return Assign(target, EWiseAdd(MIN, _ref(target), _ref(other)))

@@ -1,0 +1,37 @@
+"""OpenMP-task-like parallel runtime.
+
+The paper parallelizes its fused C implementation with OpenMP *tasks*
+(§VI.C): the A_L/A_H matrix filters become one coarse task each, and the
+per-phase vector/filter operations are split into evenly-sized chunk
+tasks.  This package reproduces that execution model twice over:
+
+- :mod:`repro.parallel.pool` — real threads.  NumPy ufunc inner loops
+  release the GIL, so chunked kernels genuinely overlap on multicore
+  hosts.
+- :mod:`repro.parallel.simulate` — a deterministic simulated-time
+  executor.  Tasks carry measured serial costs; a greedy list scheduler
+  computes the makespan for any thread count.  This decouples the Fig. 4
+  reproduction from the host's core count (this repo's CI box has 2
+  cores; the paper's i7-7700K had 4).
+
+:mod:`repro.parallel.tasks` provides the task-graph layer shared by both,
+and :mod:`repro.parallel.partition` the chunking/balancing helpers.
+"""
+
+from .partition import chunk_ranges, balanced_partition
+from .pool import WorkerPool, get_pool, parallel_map
+from .simulate import SimulatedExecutor, simulate_makespan
+from .tasks import Task, TaskGraph, run_task_graph
+
+__all__ = [
+    "chunk_ranges",
+    "balanced_partition",
+    "WorkerPool",
+    "get_pool",
+    "parallel_map",
+    "SimulatedExecutor",
+    "simulate_makespan",
+    "Task",
+    "TaskGraph",
+    "run_task_graph",
+]

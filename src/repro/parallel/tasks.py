@@ -1,0 +1,113 @@
+"""Task-graph layer: OpenMP-style tasks with dependencies.
+
+The paper's parallelization is expressed in OpenMP task pragmas: spawn
+independent tasks (A_L filter, A_H filter), spawn chunked tasks for each
+vector op, synchronize at phase boundaries.  :class:`TaskGraph` captures
+that structure explicitly — nodes are :class:`Task` objects, edges are
+dependencies — and can be executed on real threads
+(:func:`run_task_graph`) or handed to the simulator for deterministic
+makespan analysis.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .pool import get_pool
+
+__all__ = ["Task", "TaskGraph", "run_task_graph"]
+
+
+@dataclass
+class Task:
+    """One unit of work.
+
+    Attributes
+    ----------
+    name:
+        Diagnostic label (``"filter:AL"``, ``"relax[0:8192]"``...).
+    fn:
+        Zero-argument callable.
+    cost_hint:
+        Optional relative cost for balanced scheduling / simulation.
+    measured:
+        Wall-clock seconds of the last execution (filled by the runners).
+    """
+
+    name: str
+    fn: Callable[[], object]
+    cost_hint: float = 1.0
+    measured: float | None = None
+    result: object = field(default=None, repr=False)
+
+    def run(self) -> object:
+        t0 = time.perf_counter()
+        self.result = self.fn()
+        self.measured = time.perf_counter() - t0
+        return self.result
+
+
+class TaskGraph:
+    """A DAG of tasks executed level-by-level (topological waves).
+
+    Dependencies are declared by name; each wave's ready tasks run
+    concurrently, then the graph barriers before releasing the next wave —
+    the structure of an OpenMP task region with ``taskwait`` at joins.
+    """
+
+    def __init__(self):
+        self._tasks: dict[str, Task] = {}
+        self._deps: dict[str, set[str]] = {}
+
+    def add(self, task: Task, after: list[str] | None = None) -> Task:
+        """Insert *task*; ``after`` lists names it must wait for."""
+        if task.name in self._tasks:
+            raise ValueError(f"duplicate task name {task.name!r}")
+        for dep in after or []:
+            if dep not in self._tasks:
+                raise ValueError(f"unknown dependency {dep!r} for {task.name!r}")
+        self._tasks[task.name] = task
+        self._deps[task.name] = set(after or [])
+        return task
+
+    def spawn(self, name: str, fn: Callable[[], object], cost_hint: float = 1.0, after: list[str] | None = None) -> Task:
+        """Convenience: build and :meth:`add` a task in one call."""
+        return self.add(Task(name=name, fn=fn, cost_hint=cost_hint), after=after)
+
+    def waves(self) -> list[list[Task]]:
+        """Topological levels: tasks in a wave are mutually independent."""
+        remaining = dict(self._deps)
+        done: set[str] = set()
+        order: list[list[Task]] = []
+        while remaining:
+            ready = [name for name, deps in remaining.items() if deps <= done]
+            if not ready:
+                raise ValueError("task graph has a cycle")
+            order.append([self._tasks[name] for name in sorted(ready)])
+            done.update(ready)
+            for name in ready:
+                del remaining[name]
+        return order
+
+    @property
+    def tasks(self) -> list[Task]:
+        return list(self._tasks.values())
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+
+def run_task_graph(graph: TaskGraph, num_threads: int) -> dict[str, object]:
+    """Execute the graph on the shared pool; returns name → result.
+
+    Each topological wave is one parallel batch followed by a barrier.
+    """
+    pool = get_pool(num_threads)
+    results: dict[str, object] = {}
+    for wave in graph.waves():
+        pool.run_batch([task.run for task in wave])
+        for task in wave:
+            results[task.name] = task.result
+    return results

@@ -1,0 +1,104 @@
+"""Single-source shortest paths: the paper's algorithm in all its forms.
+
+Five delta-stepping implementations spanning the paper's translation
+pipeline, plus two classical baselines:
+
+==========================  =================================================
+``meyer-sanders``           canonical vertices/edges/buckets (Fig. 1 right)
+``graphblas``               linear-algebraic, unfused GraphBLAS (Fig. 1 left,
+                            structured like the Fig. 2 listing)
+``capi``                    line-by-line Fig. 2 transliteration on the
+                            C-facade (``GrB_*`` + Info codes)
+``fused``                   direct fused kernels (the paper's fast C impl.)
+``parallel``                OpenMP-task-style chunked parallel fused
+``dijkstra``                binary-heap oracle
+``bellman-ford``            edge-centric label-correcting baseline
+==========================  =================================================
+
+Entry point::
+
+    from repro.sssp import delta_stepping
+    result = delta_stepping(graph, source=0, delta=1.0, method="fused")
+"""
+
+from __future__ import annotations
+
+from ..graphs.graph import Graph
+from .capi_sssp import capi_delta_stepping
+from .delta import choose_delta
+from .fused import fused_delta_stepping
+from .graphblas_sssp import graphblas_delta_stepping
+from .meyer_sanders import meyer_sanders_delta_stepping
+from .parallel import parallel_delta_stepping
+from .paths import path_weight, predecessor_tree, reconstruct_path
+from .reference import bellman_ford, dijkstra
+from .result import SSSPResult
+from .validate import (
+    check_against_dijkstra,
+    check_against_networkx,
+    check_optimality_conditions,
+)
+
+__all__ = [
+    "delta_stepping",
+    "METHODS",
+    "SSSPResult",
+    "dijkstra",
+    "bellman_ford",
+    "choose_delta",
+    "meyer_sanders_delta_stepping",
+    "graphblas_delta_stepping",
+    "capi_delta_stepping",
+    "fused_delta_stepping",
+    "parallel_delta_stepping",
+    "check_against_dijkstra",
+    "check_optimality_conditions",
+    "check_against_networkx",
+    "predecessor_tree",
+    "reconstruct_path",
+    "path_weight",
+]
+
+#: method name → implementation (all share the ``(graph, source, delta)``
+#: leading signature and return :class:`SSSPResult`)
+METHODS = {
+    "meyer-sanders": meyer_sanders_delta_stepping,
+    "graphblas": graphblas_delta_stepping,
+    "capi": capi_delta_stepping,
+    "fused": fused_delta_stepping,
+    "parallel": parallel_delta_stepping,
+}
+
+
+def delta_stepping(
+    graph: Graph,
+    source: int = 0,
+    delta: float | None = None,
+    method: str = "fused",
+    **kwargs,
+) -> SSSPResult:
+    """Run delta-stepping SSSP.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`repro.graphs.Graph` (non-negative weights).
+    source:
+        Source vertex id.
+    delta:
+        Bucket width Δ; ``None`` selects it automatically
+        (:func:`repro.sssp.delta.choose_delta` — 1.0 on unit weights,
+        matching the paper).
+    method:
+        One of :data:`METHODS`.
+    kwargs:
+        Forwarded to the implementation (e.g. ``num_threads=4`` for
+        ``"parallel"``, ``instrument=True`` for ``"graphblas"``/``"fused"``,
+        ``strict=True`` for ``"meyer-sanders"``).
+    """
+    if method not in METHODS:
+        known = ", ".join(sorted(METHODS))
+        raise ValueError(f"unknown method {method!r}; known: {known}")
+    if delta is None:
+        delta = choose_delta(graph)
+    return METHODS[method](graph, source, delta, **kwargs)

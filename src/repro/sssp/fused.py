@@ -1,0 +1,238 @@
+"""Fused delta-stepping: the paper's direct-C implementation, in NumPy.
+
+The paper's fastest sequential version (§VI.B) abandons per-operation
+GraphBLAS calls and fuses:
+
+1. **Hadamard + vxm** — ``tReq = A_Lᵀ (min.+) (t ∘ tBi)`` becomes one
+   kernel: gather the CSR rows of the frontier, add the frontier's
+   tentative distances, min-reduce by target.  No ``t ∘ tBi`` temporary,
+   no sparse-vector materialization of ``tReq``.
+2. **The vector triple** — computing ``tBi`` (re-entrants), ``S``
+   (settled set) and ``t`` (min-merge) in one pass over the relaxation
+   candidates instead of three full-vector operations with temporaries.
+
+On top of Fig. 2's structure this removes every intermediate sparse
+object from the hot loop; state lives in three dense arrays (``t``,
+bucket membership, ``S``).  Both fusions are independently toggleable so
+the fusion ablation (ABL-FUSE in DESIGN.md) can attribute the speedup:
+
+- ``fuse_relax=False`` materializes ``tReq``/``tless``/``tB`` as full
+  dense temporaries with one pass each (the unfused op sequence, minus
+  sparse-object overhead);
+- ``fuse_matrix_split=False`` builds ``A_L``/``A_H`` GrB-style — boolean
+  predicate pass, then masked-copy pass, per matrix (4 sweeps), instead
+  of one shared-predicate pass (2 sweeps).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from .instrument import NO_TIMER, StageTimer
+from .result import INF, SSSPResult
+
+__all__ = [
+    "fused_delta_stepping",
+    "split_csr_light_heavy",
+    "build_light_csr",
+    "build_heavy_csr",
+]
+
+
+def split_csr_light_heavy(graph: Graph, delta: float, fused: bool = True, timer=NO_TIMER):
+    """Split the CSR adjacency into light (≤Δ) and heavy (>Δ) CSR triples.
+
+    ``fused=True``: one predicate pass shared by both outputs.
+    ``fused=False``: mimics the GraphBLAS call sequence — each output
+    recomputes its own predicate and materializes a masked intermediate.
+    """
+    indptr, indices, weights = graph.csr()
+    n = graph.num_vertices
+
+    def build(keep: np.ndarray):
+        counts = np.bincount(
+            np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))[keep],
+            minlength=n,
+        )
+        sub_indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+        return sub_indptr, indices[keep], weights[keep]
+
+    if fused:
+        with timer.stage("filter:split"):
+            light = weights <= delta
+            AL = build(light)
+            AH = build(~light)
+    else:
+        with timer.stage("filter:AL"):
+            pred_light = weights <= delta  # pass 1: predicate
+            masked_light = np.where(pred_light, weights, 0.0)  # pass 2: Hadamard
+            AL = build(masked_light > 0)  # pass 3: compact
+        with timer.stage("filter:AH"):
+            pred_heavy = weights > delta
+            masked_heavy = np.where(pred_heavy, weights, 0.0)
+            AH = build(masked_heavy > 0)
+    return AL, AH
+
+
+def _build_sub_csr(graph: Graph, keep: np.ndarray):
+    """Compact the kept entries of the adjacency into a new CSR triple."""
+    indptr, indices, weights = graph.csr()
+    n = graph.num_vertices
+    counts = np.bincount(
+        np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))[keep],
+        minlength=n,
+    )
+    sub_indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+    return sub_indptr, indices[keep], weights[keep]
+
+
+def build_light_csr(graph: Graph, delta: float):
+    """``A_L`` alone — one coarse task of the parallel decomposition."""
+    return _build_sub_csr(graph, graph.weights <= delta)
+
+
+def build_heavy_csr(graph: Graph, delta: float):
+    """``A_H`` alone — the other coarse task."""
+    return _build_sub_csr(graph, graph.weights > delta)
+
+
+def _gather_candidates(indptr, indices, weights, frontier, t):
+    """All relaxation requests out of *frontier*: (targets, new distances)."""
+    starts = indptr[frontier]
+    lengths = indptr[frontier + 1] - starts
+    total = int(lengths.sum())
+    if total == 0:
+        return None, None
+    offsets = np.repeat(np.cumsum(lengths) - lengths, lengths)
+    flat = np.arange(total, dtype=np.int64) - offsets + np.repeat(starts, lengths)
+    targets = indices[flat]
+    dists = np.repeat(t[frontier], lengths) + weights[flat]
+    return targets, dists
+
+
+def _min_by_target(targets, dists):
+    """Per-target minimum of the candidate distances (sort + reduceat)."""
+    order = np.argsort(targets, kind="stable")
+    ts = targets[order]
+    ds = dists[order]
+    boundaries = np.empty(len(ts), dtype=bool)
+    boundaries[0] = True
+    np.not_equal(ts[1:], ts[:-1], out=boundaries[1:])
+    starts = np.nonzero(boundaries)[0]
+    return ts[starts], np.minimum.reduceat(ds, starts)
+
+
+def fused_delta_stepping(
+    graph: Graph,
+    source: int,
+    delta: float = 1.0,
+    fuse_relax: bool = True,
+    fuse_matrix_split: bool = True,
+    instrument: bool = False,
+) -> SSSPResult:
+    """Sequential fused delta-stepping (the Fig. 3 "Fused C impl." series)."""
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    n = graph.num_vertices
+    if not 0 <= source < n:
+        raise IndexError(f"source {source} out of range [0, {n})")
+    timer = StageTimer() if instrument else NO_TIMER
+
+    (ALp, ALi, ALw), (AHp, AHi, AHw) = split_csr_light_heavy(
+        graph, delta, fused=fuse_matrix_split, timer=timer
+    )
+
+    t = np.full(n, INF, dtype=np.float64)
+    t[source] = 0.0
+    in_bucket = np.zeros(n, dtype=bool)
+    settled_set = np.zeros(n, dtype=bool)  # the paper's S
+    counters = {"buckets": 0, "phases": 0, "relaxations": 0, "updates": 0}
+
+    def relax_unfused(indptr, indices, weights, frontier, lo, hi, track_bucket):
+        """Unfused variant: full-length dense temporaries, one op per pass
+        (the op-by-op shape of Fig. 2, on dense storage)."""
+        targets, dists = _gather_candidates(indptr, indices, weights, frontier, t)
+        if targets is None:
+            return np.empty(0, dtype=np.int64)
+        counters["relaxations"] += len(targets)
+        # tReq materialized densely (the vxm output temporary)
+        with timer.stage("relax:tReq"):
+            tReq = np.full(n, INF, dtype=np.float64)
+            uts, ubest = _min_by_target(targets, dists)
+            tReq[uts] = ubest
+        # tless = tReq < t (full-vector pass)
+        with timer.stage("relax:tless"):
+            tless = tReq < t
+        # tBi = (lo <= tReq < hi) ∘ tless (full-vector pass)
+        with timer.stage("relax:tB"):
+            if track_bucket:
+                np.logical_and(tReq >= lo, tReq < hi, out=in_bucket)
+                np.logical_and(in_bucket, tless, out=in_bucket)
+        # t = min(t, tReq) (full-vector pass)
+        with timer.stage("relax:minmerge"):
+            counters["updates"] += int(np.count_nonzero(tless))
+            np.minimum(t, tReq, out=t)
+        return np.nonzero(tless)[0] if not track_bucket else np.nonzero(in_bucket)[0]
+
+    def relax_fused(indptr, indices, weights, frontier, lo, hi, track_bucket):
+        """Fused variant: candidates → per-target min → filtered scatter,
+        one pass, no dense temporaries."""
+        with timer.stage("relax:fused"):
+            targets, dists = _gather_candidates(indptr, indices, weights, frontier, t)
+            if targets is None:
+                return np.empty(0, dtype=np.int64)
+            counters["relaxations"] += len(targets)
+            uts, ubest = _min_by_target(targets, dists)
+            improved = ubest < t[uts]
+            uts = uts[improved]
+            ubest = ubest[improved]
+            counters["updates"] += len(uts)
+            t[uts] = ubest
+            if track_bucket:
+                reenter = (ubest >= lo) & (ubest < hi)
+                return uts[reenter]
+            return uts
+
+    relax = relax_fused if fuse_relax else relax_unfused
+
+    i = 0
+    while True:
+        with timer.stage("outer:check"):
+            finite = np.isfinite(t)
+            remaining = finite & (t >= i * delta)
+            if not remaining.any():
+                break
+            # jump to the next non-empty bucket
+            i = max(i, int(t[remaining].min() // delta))
+            lo, hi = i * delta, (i + 1) * delta
+        counters["buckets"] += 1
+        with timer.stage("filter:bucket"):
+            np.logical_and(t >= lo, t < hi, out=in_bucket)
+            frontier = np.nonzero(in_bucket)[0]
+        settled_set[:] = False
+        while len(frontier):
+            counters["phases"] += 1
+            settled_set[frontier] = True
+            frontier = relax(ALp, ALi, ALw, frontier, lo, hi, track_bucket=True)
+            # vertices already settled this bucket do not re-enter the
+            # frontier unless their distance actually dropped into range —
+            # relax() guarantees improvement, so re-entry is correct.
+        with timer.stage("filter:settled"):
+            settled = np.nonzero(settled_set)[0]
+        if len(settled):
+            counters["phases"] += 1
+            relax(AHp, AHi, AHw, settled, lo, hi, track_bucket=False)
+        i += 1
+
+    return SSSPResult(
+        distances=t,
+        source=source,
+        delta=delta,
+        method="fused",
+        buckets_processed=counters["buckets"],
+        phases=counters["phases"],
+        relaxations=counters["relaxations"],
+        updates=counters["updates"],
+        profile=timer.as_dict() if instrument else None,
+    )

@@ -1,0 +1,81 @@
+"""Shortest-path reconstruction from a distance array.
+
+Delta-stepping (like the paper's formulation) produces *distances*, not
+predecessors.  The Bellman optimality conditions recover routes after the
+fact: every reached vertex has at least one incoming *tight* edge
+(``d[v] == d[u] + w(u, v)``), and any chain of tight edges back to the
+source is a shortest path.  These helpers build the predecessor tree and
+individual routes that way — one vectorized pass over the edges, no
+changes to the solvers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from .result import SSSPResult
+
+__all__ = ["predecessor_tree", "reconstruct_path", "path_weight"]
+
+
+def predecessor_tree(graph: Graph, result: SSSPResult, atol: float = 1e-9) -> np.ndarray:
+    """Predecessor of every vertex on some shortest-path tree.
+
+    Returns an ``int64`` array: ``-1`` for the source and for unreachable
+    vertices; otherwise a vertex ``u`` with a tight edge ``u → v``.  Ties
+    resolve to the smallest ``u`` (deterministic output).
+    """
+    d = result.distances
+    n = graph.num_vertices
+    pred = np.full(n, -1, dtype=np.int64)
+    srcs, dsts, w = graph.to_edges()
+    finite = np.isfinite(d[srcs])
+    tight = finite & np.isclose(d[dsts], d[srcs] + w, atol=atol, rtol=1e-12)
+    t_src, t_dst = srcs[tight], dsts[tight]
+    # smallest-u tie-break: sort by (dst, src) and keep the first per dst
+    order = np.lexsort((t_src, t_dst))
+    t_src, t_dst = t_src[order], t_dst[order]
+    if len(t_dst):
+        first = np.empty(len(t_dst), dtype=bool)
+        first[0] = True
+        np.not_equal(t_dst[1:], t_dst[:-1], out=first[1:])
+        pred[t_dst[first]] = t_src[first]
+    pred[result.source] = -1
+    return pred
+
+
+def reconstruct_path(graph: Graph, result: SSSPResult, target: int) -> list[int]:
+    """The vertex sequence of one shortest path ``source → target``.
+
+    Returns ``[]`` when *target* is unreachable; ``[source]`` when target
+    is the source.
+    """
+    d = result.distances
+    if not 0 <= target < graph.num_vertices:
+        raise IndexError(f"target {target} out of range")
+    if not np.isfinite(d[target]):
+        return []
+    pred = predecessor_tree(graph, result)
+    route = [target]
+    v = target
+    seen = {target}
+    while v != result.source:
+        v = int(pred[v])
+        if v < 0 or v in seen:  # pragma: no cover - corrupted input guard
+            raise RuntimeError("predecessor chain broken; distances inconsistent")
+        seen.add(v)
+        route.append(v)
+    return route[::-1]
+
+
+def path_weight(graph: Graph, path: list[int]) -> float:
+    """Total weight along a vertex sequence (validates edges exist)."""
+    total = 0.0
+    for u, v in zip(path, path[1:]):
+        nbrs, wts = graph.neighbors(u)
+        pos = np.searchsorted(nbrs, v)
+        if pos >= len(nbrs) or nbrs[pos] != v:
+            raise ValueError(f"no edge {u} -> {v} in graph")
+        total += float(wts[pos])
+    return total

@@ -1,0 +1,138 @@
+"""Unit tests for the extension algorithms (BFS, triangles, k-truss, CC)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    bfs_levels,
+    bfs_parents,
+    connected_components,
+    ktruss,
+    triangle_count,
+)
+from repro.graphs import datasets, generators as gen
+from repro.graphs.graph import Graph
+from repro.graphs.stats import bfs_levels as bfs_oracle
+from repro.graphs.stats import connected_components as cc_oracle
+
+
+class TestBFS:
+    def test_levels_match_oracle_grid(self, grid_graph):
+        assert np.array_equal(bfs_levels(grid_graph, 0), bfs_oracle(grid_graph, 0))
+
+    def test_levels_match_oracle_random(self):
+        g = gen.erdos_renyi(300, avg_degree=5, seed=11)
+        for src in (0, 17, 123):
+            assert np.array_equal(bfs_levels(g, src), bfs_oracle(g, src))
+
+    def test_unreachable_minus_one(self):
+        g = Graph.from_edges([0], [1], n=4)
+        assert bfs_levels(g, 0).tolist() == [0, 1, -1, -1]
+
+    def test_parents_consistent_with_levels(self):
+        g = gen.watts_strogatz(120, k=4, beta=0.2, seed=4)
+        lv = bfs_levels(g, 5)
+        par = bfs_parents(g, 5)
+        assert par[5] == -1
+        for v in range(g.num_vertices):
+            if v == 5 or par[v] < 0:
+                continue
+            p = int(par[v])
+            assert lv[p] == lv[v] - 1
+            nbrs, _ = g.neighbors(p)
+            assert v in nbrs
+
+    def test_bad_source(self, grid_graph):
+        with pytest.raises(IndexError):
+            bfs_levels(grid_graph, 64)
+        with pytest.raises(IndexError):
+            bfs_parents(grid_graph, -1)
+
+
+class TestTriangles:
+    def test_triangle_of_three(self):
+        g = gen.complete_graph(3)
+        assert triangle_count(g) == 1
+
+    def test_k4_has_four_triangles(self):
+        assert triangle_count(gen.complete_graph(4)) == 4
+
+    def test_triangle_free(self):
+        assert triangle_count(gen.cycle_graph(8)) == 0
+        assert triangle_count(gen.grid_2d(4, 4)) == 0
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        g = gen.erdos_renyi(150, avg_degree=10, seed=9)
+        src, dst, _ = g.to_edges()
+        G = nx.Graph()
+        G.add_nodes_from(range(g.num_vertices))
+        G.add_edges_from(zip(src.tolist(), dst.tolist()))
+        assert triangle_count(g) == sum(nx.triangles(G).values()) // 3
+
+
+class TestKTruss:
+    def test_k3_keeps_triangle_edges_only(self):
+        # a triangle with a pendant edge: pendant drops out of the 3-truss
+        g = Graph.from_edges(
+            [0, 1, 2, 2], [1, 2, 0, 3], n=4, directed=False
+        )
+        C = ktruss(g, 3)
+        rows, cols, _ = C.to_coo()
+        kept = set(zip(rows.tolist(), cols.tolist()))
+        assert (2, 3) not in kept and (3, 2) not in kept
+        assert (0, 1) in kept
+
+    def test_k4_of_k4_is_everything(self):
+        g = gen.complete_graph(4)
+        C = ktruss(g, 4)
+        assert C.nvals == g.num_edges
+
+    def test_k5_of_k4_is_empty(self):
+        g = gen.complete_graph(4)
+        assert ktruss(g, 5).nvals == 0
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        g = gen.erdos_renyi(100, avg_degree=12, seed=13)
+        src, dst, _ = g.to_edges()
+        G = nx.Graph()
+        G.add_nodes_from(range(g.num_vertices))
+        G.add_edges_from(zip(src.tolist(), dst.tolist()))
+        for k in (3, 4):
+            C = ktruss(g, k)
+            expected = nx.k_truss(G, k)
+            assert C.nvals == 2 * expected.number_of_edges()
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            ktruss(gen.complete_graph(4), 2)
+
+
+class TestConnectedComponents:
+    def test_partition_matches_oracle(self):
+        g = datasets.load("ci-rmat")
+        got = connected_components(g)
+        expected = cc_oracle(g)
+        # same partition up to label renaming
+        mapping = {}
+        for a, b in zip(got.tolist(), expected.tolist()):
+            assert mapping.setdefault(a, b) == b
+
+    def test_single_component(self, grid_graph):
+        labels = connected_components(grid_graph)
+        assert len(set(labels.tolist())) == 1
+
+    def test_isolated_vertices(self):
+        g = Graph.empty(4)
+        labels = connected_components(g)
+        assert sorted(labels.tolist()) == [0, 1, 2, 3]
+
+    def test_labels_are_component_minima(self):
+        g = Graph.from_edges([1, 3], [2, 4], n=5, directed=False)
+        labels = connected_components(g)
+        assert labels[1] == labels[2] == 1
+        assert labels[3] == labels[4] == 3
+        assert labels[0] == 0

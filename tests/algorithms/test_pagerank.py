@@ -1,0 +1,53 @@
+"""Unit tests for PageRank (validated against networkx)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import pagerank
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+
+
+class TestPageRank:
+    def test_sums_to_one(self):
+        g = gen.erdos_renyi(200, avg_degree=6, seed=3)
+        pr = pagerank(g)
+        assert np.isclose(pr.sum(), 1.0)
+        assert np.all(pr > 0)
+
+    def test_uniform_on_cycle(self):
+        g = gen.cycle_graph(10)
+        pr = pagerank(g)
+        assert np.allclose(pr, 0.1, atol=1e-6)
+
+    def test_hub_ranks_highest(self):
+        g = gen.star_graph(50)
+        pr = pagerank(g)
+        assert pr.argmax() == 0
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        g = gen.barabasi_albert(150, m_per_node=3, seed=5)
+        src, dst, _ = g.to_edges()
+        G = nx.DiGraph()
+        G.add_nodes_from(range(g.num_vertices))
+        G.add_edges_from(zip(src.tolist(), dst.tolist()))
+        expected = nx.pagerank(G, alpha=0.85, tol=1e-10)
+        got = pagerank(g, damping=0.85, tol=1e-12)
+        exp = np.array([expected[v] for v in range(g.num_vertices)])
+        assert np.allclose(got, exp, atol=1e-6)
+
+    def test_dangling_vertices_handled(self):
+        # 0 -> 1, 1 dangles
+        g = Graph.from_edges([0], [1], n=3)
+        pr = pagerank(g)
+        assert np.isclose(pr.sum(), 1.0)
+        assert pr[1] > pr[2]
+
+    def test_invalid_damping(self):
+        with pytest.raises(ValueError):
+            pagerank(gen.cycle_graph(4), damping=1.5)
+
+    def test_empty_graph(self):
+        assert len(pagerank(Graph.empty(0))) == 0

@@ -1,0 +1,183 @@
+"""Unit tests for the C-flavoured GrB_* facade (Info codes, Ref cells)."""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import capi
+from repro.graphblas.capi import (
+    GrB_DESC_R,
+    GrB_FP64,
+    GrB_IDENTITY_FP64,
+    GrB_LOR,
+    GrB_MIN_FP64,
+    GrB_MIN_PLUS_SEMIRING_FP64,
+    GrB_NULL,
+    GrB_PLUS_MONOID_FP64,
+    Info,
+    Ref,
+)
+from repro.graphblas.matrix import Matrix
+from repro.graphblas.vector import Vector
+
+
+class TestLifetime:
+    def test_vector_new_success(self):
+        ref = Ref()
+        assert capi.GrB_Vector_new(ref, GrB_FP64, 5) == Info.SUCCESS
+        assert isinstance(ref.value, Vector)
+
+    def test_matrix_new_success(self):
+        ref = Ref()
+        assert capi.GrB_Matrix_new(ref, GrB_FP64, 2, 3) == Info.SUCCESS
+        assert ref.value.shape == (2, 3)
+
+    def test_new_negative_size_reports_invalid_value(self):
+        assert capi.GrB_Vector_new(Ref(), GrB_FP64, -1) == Info.INVALID_VALUE
+
+    def test_dup_and_clear(self):
+        v = Vector.from_coo([1], [2.0], 3)
+        ref = Ref()
+        assert capi.GrB_Vector_dup(ref, v) == Info.SUCCESS
+        assert ref.value.isequal(v)
+        assert capi.GrB_Vector_clear(ref.value) == Info.SUCCESS
+        assert ref.value.nvals == 0
+        assert v.nvals == 1
+
+    def test_free_and_wait_are_noops(self):
+        assert capi.GrB_free(None) == Info.SUCCESS
+        assert capi.GrB_wait() == Info.SUCCESS
+
+
+class TestElementAccess:
+    def test_set_and_extract(self):
+        v = Vector.new(GrB_FP64, 4)
+        assert capi.GrB_Vector_setElement(v, 2.5, 1) == Info.SUCCESS
+        out = Ref()
+        assert capi.GrB_Vector_extractElement(out, v, 1) == Info.SUCCESS
+        assert out.value == 2.5
+
+    def test_extract_missing_is_no_value(self):
+        v = Vector.new(GrB_FP64, 4)
+        assert capi.GrB_Vector_extractElement(Ref(), v, 0) == Info.NO_VALUE
+
+    def test_invalid_index_reported(self):
+        v = Vector.new(GrB_FP64, 4)
+        assert capi.GrB_Vector_setElement(v, 1.0, 9) == Info.INVALID_INDEX
+
+    def test_matrix_set_extract(self):
+        a = Matrix.new(GrB_FP64, 2, 2)
+        assert capi.GrB_Matrix_setElement(a, 3.0, 0, 1) == Info.SUCCESS
+        out = Ref()
+        assert capi.GrB_Matrix_extractElement(out, a, 0, 1) == Info.SUCCESS
+        assert out.value == 3.0
+        assert capi.GrB_Matrix_extractElement(Ref(), a, 1, 1) == Info.NO_VALUE
+
+
+class TestIntrospection:
+    def test_nvals_size(self):
+        v = Vector.from_coo([0, 1], [1.0, 2.0], 5)
+        r = Ref()
+        capi.GrB_Vector_nvals(r, v)
+        assert r.value == 2
+        capi.GrB_Vector_size(r, v)
+        assert r.value == 5
+
+    def test_matrix_dims(self):
+        a = Matrix.new(GrB_FP64, 3, 7)
+        r = Ref()
+        capi.GrB_Matrix_nrows(r, a)
+        assert r.value == 3
+        capi.GrB_Matrix_ncols(r, a)
+        assert r.value == 7
+
+
+class TestBuildExtract:
+    def test_vector_build(self):
+        v = Vector.new(GrB_FP64, 5)
+        info = capi.GrB_Vector_build(v, [3, 1], [30.0, 10.0], 2, GrB_NULL)
+        assert info == Info.SUCCESS
+        assert v.to_dict() == {1: 10.0, 3: 30.0}
+
+    def test_matrix_build(self):
+        a = Matrix.new(GrB_FP64, 2, 2)
+        info = capi.GrB_Matrix_build(a, [0, 1], [1, 0], [1.0, 2.0], 2, GrB_NULL)
+        assert info == Info.SUCCESS
+        assert a.extract_element(1, 0) == 2.0
+
+    def test_extract_tuples(self):
+        v = Vector.from_coo([0, 2], [1.0, 3.0], 4)
+        idx, vals, n = Ref(), Ref(), Ref()
+        assert capi.GrB_Vector_extractTuples(idx, vals, n, v) == Info.SUCCESS
+        assert n.value == 2
+        assert idx.value.tolist() == [0, 2]
+
+
+class TestOperations:
+    def test_apply_dimension_error_reported_not_raised(self):
+        out = Vector.new(GrB_FP64, 3)
+        src = Vector.new(GrB_FP64, 4)
+        info = capi.GrB_apply(out, GrB_NULL, GrB_NULL, GrB_IDENTITY_FP64, src, GrB_NULL)
+        assert info == Info.DIMENSION_MISMATCH
+
+    def test_vxm_min_plus(self):
+        a = Matrix.from_coo([0, 1], [1, 2], [2.0, 3.0], 3, 3)
+        v = Vector.from_coo([0], [0.0], 3)
+        out = Vector.new(GrB_FP64, 3)
+        info = capi.GrB_vxm(out, GrB_NULL, GrB_NULL, GrB_MIN_PLUS_SEMIRING_FP64, v, a, GrB_DESC_R)
+        assert info == Info.SUCCESS
+        assert out.to_dict() == {1: 2.0}
+
+    def test_ewise_add_lor(self):
+        a = Vector.from_coo([0], [True], 3)
+        b = Vector.from_coo([1], [True], 3)
+        out = Vector.new(GrB_FP64, 3)
+        assert capi.GrB_eWiseAdd(out, GrB_NULL, GrB_NULL, GrB_LOR, a, b, GrB_NULL) == Info.SUCCESS
+        assert out.nvals == 2
+
+    def test_reduce_to_scalar_ref(self):
+        v = Vector.from_coo([0, 1], [2.0, 5.0], 3)
+        r = Ref()
+        assert capi.GrB_reduce(r, GrB_NULL, GrB_PLUS_MONOID_FP64, v) == Info.SUCCESS
+        assert r.value == 7.0
+
+    def test_assign_scalar(self):
+        v = Vector.new(GrB_FP64, 3)
+        assert capi.GrB_assign(v, GrB_NULL, GrB_NULL, 4.0, [0, 2]) == Info.SUCCESS
+        assert v.to_dict() == {0: 4.0, 2: 4.0}
+
+    def test_transpose(self):
+        a = Matrix.from_coo([0], [1], [5.0], 2, 2)
+        out = Matrix.new(GrB_FP64, 2, 2)
+        assert capi.GrB_transpose(out, GrB_NULL, GrB_NULL, a, GrB_NULL) == Info.SUCCESS
+        assert out.extract_element(1, 0) == 5.0
+
+
+class TestGBTLFacade:
+    def test_vxm_gbtl_style(self):
+        from repro.graphblas import gbtl
+
+        a = Matrix.from_coo([0, 1], [1, 2], [2.0, 3.0], 3, 3)
+        v = Vector.from_coo([0], [0.0], 3)
+        w = Vector.new(GrB_FP64, 3)
+        gbtl.vxm(w, gbtl.NoMask(), gbtl.NoAccumulate(), gbtl.MinPlusSemiring(), v, a, True)
+        assert w.to_dict() == {1: 2.0}
+
+    def test_gbtl_raises_on_error(self):
+        from repro.graphblas import gbtl
+        from repro.graphblas.info import DimensionMismatch
+
+        with pytest.raises(DimensionMismatch):
+            gbtl.apply(Vector.new(GrB_FP64, 2), None, None, GrB_IDENTITY_FP64, Vector.new(GrB_FP64, 3))
+
+    def test_gbtl_reduce(self):
+        from repro.graphblas import gbtl
+
+        v = Vector.from_coo([0, 1], [2.0, 5.0], 3)
+        assert gbtl.reduce(gbtl.PlusMonoid(), v) == 7.0
+
+    def test_functor_factories(self):
+        from repro.graphblas import gbtl
+        from repro.graphblas.semiring import MIN_PLUS, MIN_SECOND
+
+        assert gbtl.MinPlusSemiring() is MIN_PLUS
+        assert gbtl.MinSelect2ndSemiring() is MIN_SECOND

@@ -1,0 +1,54 @@
+"""Unit tests for the Info code / exception mapping."""
+
+import pytest
+
+from repro.graphblas.info import (
+    DimensionMismatch,
+    GraphBLASError,
+    Info,
+    InvalidIndex,
+    NoValue,
+    info_of,
+    raise_for_info,
+)
+
+
+class TestInfoCodes:
+    def test_api_vs_execution_error_ranges(self):
+        assert Info.SUCCESS == 0
+        assert Info.NO_VALUE == 1
+        assert 2 <= Info.UNINITIALIZED_OBJECT < 100  # API errors
+        assert Info.PANIC >= 100  # execution errors
+
+    def test_every_error_class_maps_back(self):
+        for exc_type in GraphBLASError.__subclasses__():
+            exc = exc_type("boom")
+            assert info_of(exc) == exc_type.info
+
+    def test_foreign_exceptions_map_sensibly(self):
+        assert info_of(MemoryError()) == Info.OUT_OF_MEMORY
+        assert info_of(IndexError()) == Info.INDEX_OUT_OF_BOUNDS
+        assert info_of(RuntimeError()) == Info.PANIC
+
+
+class TestRaiseForInfo:
+    def test_success_is_silent(self):
+        raise_for_info(Info.SUCCESS)
+
+    def test_no_value_raises(self):
+        with pytest.raises(NoValue):
+            raise_for_info(Info.NO_VALUE)
+
+    def test_specific_exceptions(self):
+        with pytest.raises(DimensionMismatch):
+            raise_for_info(Info.DIMENSION_MISMATCH)
+        with pytest.raises(InvalidIndex):
+            raise_for_info(Info.INVALID_INDEX)
+
+    def test_message_carried(self):
+        with pytest.raises(DimensionMismatch, match="sizes differ"):
+            raise_for_info(Info.DIMENSION_MISMATCH, "sizes differ")
+
+    def test_default_message_is_code_name(self):
+        with pytest.raises(InvalidIndex, match="INVALID_INDEX"):
+            raise_for_info(Info.INVALID_INDEX)

@@ -1,0 +1,145 @@
+"""Unit tests for the accumulate→mask→replace write pipeline — the part
+of the spec the paper's §V.B pitfalls live in."""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import (
+    BOOL,
+    COMPLEMENT,
+    FP64,
+    IDENTITY,
+    Matrix,
+    NULL_DESC,
+    PLUS,
+    REPLACE,
+    REPLACE_COMPLEMENT,
+    STRUCTURE,
+    Vector,
+    apply,
+)
+from repro.graphblas.descriptor import Descriptor
+
+
+@pytest.fixture
+def src():
+    """Input vector {0: 1, 1: 2, 2: 3, 3: 4}."""
+    return Vector.from_coo([0, 1, 2, 3], [1.0, 2.0, 3.0, 4.0], 4)
+
+
+@pytest.fixture
+def value_mask():
+    """Mask storing True at 0, False at 1, True at 2 (3 unstored)."""
+    return Vector.from_coo([0, 1, 2], [True, False, True], 4, dtype=BOOL)
+
+
+class TestValueMask:
+    def test_false_entries_do_not_pass(self, src, value_mask):
+        out = Vector.new(FP64, 4)
+        apply(out, IDENTITY, src, mask=value_mask)
+        assert sorted(out.to_dict()) == [0, 2]
+
+    def test_unstored_mask_positions_do_not_pass(self, src, value_mask):
+        out = Vector.new(FP64, 4)
+        apply(out, IDENTITY, src, mask=value_mask)
+        assert 3 not in out.to_dict()
+
+
+class TestStructuralMask:
+    def test_stored_false_counts_as_true(self, src, value_mask):
+        out = Vector.new(FP64, 4)
+        apply(out, IDENTITY, src, mask=value_mask, desc=STRUCTURE)
+        assert sorted(out.to_dict()) == [0, 1, 2]
+
+
+class TestComplementMask:
+    def test_complement_value_mask(self, src, value_mask):
+        out = Vector.new(FP64, 4)
+        apply(out, IDENTITY, src, mask=value_mask, desc=COMPLEMENT)
+        # complement of {0, 2} over the full domain is {1, 3}
+        assert sorted(out.to_dict()) == [1, 3]
+
+    def test_complement_structural(self, src, value_mask):
+        desc = Descriptor(mask_complement=True, mask_structure=True)
+        out = Vector.new(FP64, 4)
+        apply(out, IDENTITY, src, mask=value_mask, desc=desc)
+        assert sorted(out.to_dict()) == [3]
+
+
+class TestReplaceSemantics:
+    def test_without_replace_outside_mask_survives(self, src, value_mask):
+        out = Vector.from_coo([3], [99.0], 4)
+        apply(out, IDENTITY, src, mask=value_mask)
+        assert out.to_dict() == {0: 1.0, 2: 3.0, 3: 99.0}
+
+    def test_with_replace_outside_mask_cleared(self, src, value_mask):
+        out = Vector.from_coo([3], [99.0], 4)
+        apply(out, IDENTITY, src, mask=value_mask, desc=REPLACE)
+        assert out.to_dict() == {0: 1.0, 2: 3.0}
+
+    def test_inside_mask_stale_entry_deleted(self, value_mask):
+        # out has an entry at 0; the computed result has no entry at 0 →
+        # within the mask, out must lose it (spec: C<m> becomes Z∩m there)
+        out = Vector.from_coo([0], [99.0], 4)
+        empty_src = Vector.new(FP64, 4)
+        apply(out, IDENTITY, empty_src, mask=value_mask)
+        assert out.nvals == 0
+
+    def test_no_mask_full_overwrite(self, src):
+        out = Vector.from_coo([3], [99.0], 4)
+        apply(out, IDENTITY, src)
+        assert out.to_dict() == src.to_dict()
+
+
+class TestAccumulator:
+    def test_accum_union_merge(self, src):
+        out = Vector.from_coo([0, 3], [100.0, 100.0], 4)
+        apply(out, IDENTITY, src, accum=PLUS)
+        assert out.to_dict() == {0: 101.0, 1: 2.0, 2: 3.0, 3: 104.0}
+
+    def test_accum_with_mask(self, src, value_mask):
+        out = Vector.from_coo([0, 3], [100.0, 100.0], 4)
+        apply(out, IDENTITY, src, accum=PLUS, mask=value_mask)
+        # Z = {0:101, 1:2, 2:3, 3:104}; inside mask {0,2} take Z; outside kept
+        assert out.to_dict() == {0: 101.0, 2: 3.0, 3: 100.0}
+
+    def test_accum_mask_replace(self, src, value_mask):
+        out = Vector.from_coo([0, 3], [100.0, 100.0], 4)
+        apply(out, IDENTITY, src, accum=PLUS, mask=value_mask, desc=REPLACE_COMPLEMENT)
+        # complement mask true-set {1,3}; replace clears {0,2}
+        assert out.to_dict() == {1: 2.0, 3: 104.0}
+
+
+class TestMatrixMasks:
+    def test_matrix_value_mask(self):
+        a = Matrix.from_dense(np.arange(1.0, 5.0).reshape(2, 2))
+        m = Matrix.from_coo([0, 1], [0, 1], [True, True], 2, 2, dtype=BOOL)
+        out = Matrix.new(FP64, 2, 2)
+        apply(out, IDENTITY, a, mask=m)
+        assert out.to_dense().tolist() == [[1.0, 0.0], [0.0, 4.0]]
+
+    def test_matrix_complement_mask(self):
+        a = Matrix.from_dense(np.arange(1.0, 5.0).reshape(2, 2))
+        m = Matrix.from_coo([0, 1], [0, 1], [True, True], 2, 2, dtype=BOOL)
+        out = Matrix.new(FP64, 2, 2)
+        apply(out, IDENTITY, a, mask=m, desc=COMPLEMENT)
+        assert out.to_dense().tolist() == [[0.0, 2.0], [3.0, 0.0]]
+
+
+class TestDescriptorObject:
+    def test_builders(self):
+        d = NULL_DESC.replacing().complementing().structural().transposing(0)
+        assert d.replace and d.mask_complement and d.mask_structure and d.transpose0
+
+    def test_immutability(self):
+        d = NULL_DESC.replacing()
+        assert not NULL_DESC.replace
+        assert d is not NULL_DESC
+
+    def test_transposing_validates(self):
+        with pytest.raises(ValueError):
+            NULL_DESC.transposing(2)
+
+    def test_repr_flags(self):
+        assert "REPLACE" in repr(REPLACE)
+        assert "NULL" in repr(NULL_DESC)

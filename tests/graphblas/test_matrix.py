@@ -1,0 +1,154 @@
+"""Unit tests for the Matrix container (CSR invariants included)."""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import FP64, INT32, Matrix
+from repro.graphblas.info import DimensionMismatch, InvalidIndex, NoValue
+
+
+@pytest.fixture
+def m34() -> Matrix:
+    """3x4 with entries (0,1)=1, (0,3)=2, (2,0)=3."""
+    return Matrix.from_coo([0, 0, 2], [1, 3, 0], [1.0, 2.0, 3.0], 3, 4)
+
+
+class TestConstruction:
+    def test_new_empty(self):
+        a = Matrix.new(FP64, 3, 4)
+        assert a.shape == (3, 4)
+        assert a.nvals == 0
+        assert a.indptr.tolist() == [0, 0, 0, 0]
+
+    def test_from_coo(self, m34):
+        assert m34.nvals == 3
+        assert m34.to_dense().tolist() == [
+            [0.0, 1.0, 0.0, 2.0],
+            [0.0, 0.0, 0.0, 0.0],
+            [3.0, 0.0, 0.0, 0.0],
+        ]
+
+    def test_from_coo_sorts_columns_within_rows(self):
+        a = Matrix.from_coo([0, 0], [3, 1], [30.0, 10.0], 1, 4)
+        assert a.col_indices.tolist() == [1, 3]
+        assert a.values.tolist() == [10.0, 30.0]
+
+    def test_from_coo_dup_op(self):
+        from repro.graphblas import MIN
+
+        a = Matrix.from_coo([0, 0], [1, 1], [5.0, 2.0], 2, 2, dup_op=MIN)
+        assert a.extract_element(0, 1) == 2.0
+
+    def test_from_coo_out_of_range(self):
+        with pytest.raises(InvalidIndex):
+            Matrix.from_coo([3], [0], [1.0], 3, 4)
+        with pytest.raises(InvalidIndex):
+            Matrix.from_coo([0], [4], [1.0], 3, 4)
+
+    def test_from_dense_roundtrip(self, rng):
+        dense = np.where(rng.random((5, 6)) < 0.4, rng.random((5, 6)), 0.0)
+        a = Matrix.from_dense(dense, missing=0.0)
+        assert np.allclose(a.to_dense(), dense)
+
+    def test_from_csr_zero_copy_shapes(self):
+        a = Matrix.from_csr(
+            np.array([0, 1, 1]), np.array([2]), np.array([9.0]), ncols=3
+        )
+        assert a.shape == (2, 3)
+        assert a.extract_element(0, 2) == 9.0
+
+    def test_identity(self):
+        eye = Matrix.identity(3, value=2.0)
+        assert eye.diag().values.tolist() == [2.0, 2.0, 2.0]
+
+
+class TestElementAccess:
+    def test_extract_present(self, m34):
+        assert m34.extract_element(0, 3) == 2.0
+
+    def test_extract_absent_raises(self, m34):
+        with pytest.raises(NoValue):
+            m34.extract_element(1, 1)
+
+    def test_extract_out_of_range(self, m34):
+        with pytest.raises(InvalidIndex):
+            m34.extract_element(3, 0)
+
+    def test_get_default(self, m34):
+        assert m34.get(1, 1, default=0.0) == 0.0
+
+    def test_set_element_insert_and_overwrite(self, m34):
+        m34.set_element(1, 2, 7.0)
+        assert m34.extract_element(1, 2) == 7.0
+        m34.set_element(1, 2, 8.0)
+        assert m34.extract_element(1, 2) == 8.0
+        assert m34.nvals == 4
+
+    def test_set_element_maintains_csr(self, m34):
+        m34.set_element(0, 2, 9.0)
+        cols, vals = m34.row(0)
+        assert cols.tolist() == [1, 2, 3]
+
+
+class TestStructure:
+    def test_row_view(self, m34):
+        cols, vals = m34.row(0)
+        assert cols.tolist() == [1, 3]
+        assert vals.tolist() == [1.0, 2.0]
+
+    def test_row_degrees(self, m34):
+        assert m34.row_degrees().tolist() == [2, 0, 1]
+
+    def test_row_ids_expanded(self, m34):
+        assert m34.row_ids_expanded().tolist() == [0, 0, 2]
+
+    def test_keys_are_row_major(self, m34):
+        keys = m34._keys()
+        assert np.all(np.diff(keys) > 0)
+
+    def test_to_coo_roundtrip(self, m34):
+        r, c, v = m34.to_coo()
+        again = Matrix.from_coo(r, c, v, 3, 4)
+        assert again.isequal(m34)
+
+
+class TestTranspose:
+    def test_transpose_values(self, m34):
+        t = m34.transpose()
+        assert t.shape == (4, 3)
+        assert t.extract_element(1, 0) == 1.0
+        assert t.extract_element(0, 2) == 3.0
+
+    def test_transpose_cached_until_mutation(self, m34):
+        t1 = m34.transpose()
+        assert m34.transpose() is t1
+        m34.set_element(1, 1, 5.0)
+        t2 = m34.transpose()
+        assert t2 is not t1
+        assert t2.extract_element(1, 1) == 5.0
+
+    def test_double_transpose_identity(self, m34):
+        assert m34.transpose().transpose().isequal(m34)
+
+    def test_t_alias(self, m34):
+        assert m34.T.isequal(m34.transpose())
+
+
+class TestWholeObject:
+    def test_clear(self, m34):
+        m34.clear()
+        assert m34.nvals == 0
+        assert m34.shape == (3, 4)
+
+    def test_dup_is_deep(self, m34):
+        d = m34.dup()
+        d.set_element(1, 1, 1.0)
+        assert m34.nvals == 3 and d.nvals == 4
+
+    def test_diag(self):
+        a = Matrix.from_coo([0, 1, 1], [0, 1, 0], [1.0, 2.0, 9.0], 2, 2)
+        assert a.diag().to_dict() == {0: 1.0, 1: 2.0}
+
+    def test_dtype_cast(self):
+        a = Matrix.from_coo([0], [0], [3.9], 1, 1, dtype=INT32)
+        assert a.extract_element(0, 0) == 3

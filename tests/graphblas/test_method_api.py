@@ -1,0 +1,130 @@
+"""Unit tests for the object-method API (the Pythonic entry points that
+delegate into the operations module)."""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import (
+    BOOL,
+    FP64,
+    IDENTITY,
+    LOR_LAND,
+    MIN,
+    MIN_MONOID,
+    MIN_PLUS,
+    PLUS,
+    PLUS_MONOID,
+    PLUS_TIMES,
+    Matrix,
+    TIMES,
+    Vector,
+)
+from repro.graphblas.indexunaryop import VALUEGT
+from repro.graphblas.unaryop import threshold_leq
+
+
+@pytest.fixture
+def v():
+    return Vector.from_coo([0, 2, 3], [1.0, 3.0, 5.0], 4)
+
+
+@pytest.fixture
+def a():
+    return Matrix.from_coo([0, 0, 1, 2], [1, 2, 2, 3], [2.0, 7.0, 3.0, 1.0], 4, 4)
+
+
+class TestVectorMethods:
+    def test_apply_allocates_output(self, v):
+        out = v.apply(threshold_leq(3.0))
+        assert out.dtype is BOOL
+        assert out.to_dict() == {0: True, 2: True, 3: False}
+
+    def test_apply_into_existing(self, v):
+        target = Vector.new(FP64, 4)
+        got = v.apply(IDENTITY, out=target)
+        assert got is target
+        assert target.isequal(v)
+
+    def test_select_method(self, v):
+        out = v.select(VALUEGT, thunk=2.0)
+        assert out.to_dict() == {2: 3.0, 3: 5.0}
+
+    def test_ewise_add_method(self, v):
+        other = Vector.from_coo([1, 2], [10.0, 10.0], 4)
+        out = v.ewise_add(other, MIN)
+        assert out.to_dict() == {0: 1.0, 1: 10.0, 2: 3.0, 3: 5.0}
+
+    def test_ewise_mult_method(self, v):
+        other = Vector.from_coo([2, 3], [2.0, 2.0], 4)
+        out = v.ewise_mult(other, TIMES)
+        assert out.to_dict() == {2: 6.0, 3: 10.0}
+
+    def test_vxm_method(self, v, a):
+        out = v.vxm(a, MIN_PLUS)
+        # out[1] = v[0]+A[0,1] = 3; out[2] = min(v[0]+7, v[1]? absent) = 8;
+        # out[3] = v[2]+A[2,3] = 4
+        assert out.to_dict() == {1: 3.0, 2: 8.0, 3: 4.0}
+
+    def test_reduce_method(self, v):
+        assert v.reduce(PLUS_MONOID) == 9.0
+        assert v.reduce(MIN_MONOID) == 1.0
+
+    def test_extract_method(self, v):
+        out = v.extract([3, 1])
+        assert out.to_dict() == {0: 5.0}
+
+    def test_assign_scalar_method(self, v):
+        v.assign_scalar(0.0, indices=[1, 2])
+        assert v.to_dict()[1] == 0.0 and v.to_dict()[2] == 0.0
+
+
+class TestMatrixMethods:
+    def test_apply_method(self, a):
+        out = a.apply(threshold_leq(3.0))
+        assert out.dtype is BOOL
+        assert out.nvals == a.nvals
+
+    def test_select_method(self, a):
+        out = a.select(VALUEGT, thunk=2.5)
+        assert out.nvals == 2
+
+    def test_ewise_methods(self, a):
+        other = Matrix.identity(4, value=1.0)
+        union = a.ewise_add(other, PLUS)
+        assert union.nvals == a.nvals + 4
+        inter = a.ewise_mult(other, PLUS)
+        assert inter.nvals == 0  # a has an empty diagonal
+
+    def test_mxv_method(self, a):
+        x = Vector.from_coo([1, 2, 3], [1.0, 1.0, 1.0], 4)
+        out = a.mxv(x, PLUS_TIMES)
+        assert out.to_dict() == {0: 9.0, 1: 3.0, 2: 1.0}
+
+    def test_mxm_method(self, a):
+        sq = a.mxm(a, PLUS_TIMES)
+        # paths of length 2: 0->1->2 (2*3), 0->2->3 (7*1), 1->2->3 (3*1)
+        assert sq.to_dense()[0, 2] == 6.0
+        assert sq.to_dense()[0, 3] == 7.0
+        assert sq.to_dense()[1, 3] == 3.0
+
+    def test_mxm_boolean_reachability(self):
+        a = Matrix.from_coo([0, 1], [1, 2], [True, True], 3, 3, dtype=BOOL)
+        two_hop = a.mxm(a, LOR_LAND)
+        assert two_hop.extract_element(0, 2) == True  # noqa: E712
+
+    def test_reduce_rows_method(self, a):
+        out = a.reduce_rows(PLUS_MONOID)
+        assert out.to_dict() == {0: 9.0, 1: 3.0, 2: 1.0}
+
+    def test_reduce_scalar_method(self, a):
+        assert a.reduce_scalar(PLUS_MONOID) == 13.0
+
+    def test_kronecker_method(self):
+        a = Matrix.from_coo([0], [0], [2.0], 1, 1)
+        b = Matrix.from_coo([0, 1], [1, 0], [1.0, 3.0], 2, 2)
+        out = a.kronecker(b, TIMES)
+        assert out.to_dense().tolist() == [[0.0, 2.0], [6.0, 0.0]]
+
+    def test_extract_submatrix_method(self, a):
+        out = a.extract_submatrix([0, 1], [1, 2])
+        assert out.to_dense().tolist() == [[2.0, 7.0], [0.0, 3.0]]

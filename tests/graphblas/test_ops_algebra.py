@@ -1,0 +1,173 @@
+"""Unit tests for the operator algebra: unary, binary, index-unary,
+monoids, semirings."""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import binaryop as b
+from repro.graphblas import indexunaryop as iu
+from repro.graphblas import unaryop as u
+from repro.graphblas.info import DomainMismatch
+from repro.graphblas.monoid import (
+    LOR_MONOID,
+    MAX_MONOID,
+    MIN_MONOID,
+    Monoid,
+    PLUS_MONOID,
+)
+from repro.graphblas.semiring import LOR_LAND, MIN_PLUS, PLUS_PAIR, PLUS_TIMES, Semiring
+from repro.graphblas.types import BOOL, FP64, INT32
+
+
+class TestUnaryOps:
+    def test_identity(self):
+        x = np.array([1.0, 2.0])
+        assert u.IDENTITY(x).tolist() == [1.0, 2.0]
+
+    def test_ainv_abs_one(self):
+        x = np.array([-2.0, 3.0])
+        assert u.AINV(x).tolist() == [2.0, -3.0]
+        assert u.ABS(x).tolist() == [2.0, 3.0]
+        assert u.ONE(x).tolist() == [1.0, 1.0]
+
+    def test_minv_handles_zero(self):
+        out = u.MINV(np.array([2.0, 0.0]))
+        assert out[0] == 0.5
+        assert np.isinf(out[1])
+
+    def test_lnot_outputs_bool(self):
+        out = u.LNOT(np.array([0.0, 1.0]))
+        assert out.dtype == np.bool_
+        assert out.tolist() == [True, False]
+
+    def test_threshold_factories(self):
+        x = np.array([0.5, 1.0, 2.0])
+        assert u.threshold_leq(1.0)(x).tolist() == [True, True, False]
+        assert u.threshold_gt(1.0)(x).tolist() == [False, False, True]
+        assert u.threshold_geq(1.0)(x).tolist() == [False, True, True]
+        assert u.threshold_lt(1.0)(x).tolist() == [True, False, False]
+
+    def test_range_filter_half_open(self):
+        x = np.array([0.9, 1.0, 1.9, 2.0])
+        assert u.range_filter(1.0, 2.0)(x).tolist() == [False, True, True, False]
+
+    def test_result_type(self):
+        assert u.IDENTITY.result_type(FP64) is FP64
+        assert u.LNOT.result_type(FP64) is BOOL
+
+
+class TestBinaryOps:
+    def test_arithmetic(self):
+        x, y = np.array([4.0]), np.array([2.0])
+        assert b.PLUS(x, y)[0] == 6.0
+        assert b.MINUS(x, y)[0] == 2.0
+        assert b.RMINUS(x, y)[0] == -2.0
+        assert b.TIMES(x, y)[0] == 8.0
+        assert b.DIV(x, y)[0] == 2.0
+        assert b.RDIV(x, y)[0] == 0.5
+
+    def test_first_second_pair_any(self):
+        x, y = np.array([4.0]), np.array([2.0])
+        assert b.FIRST(x, y)[0] == 4.0
+        assert b.SECOND(x, y)[0] == 2.0
+        assert b.PAIR(x, y)[0] == 1.0
+        assert b.ANY(x, y)[0] == 4.0
+
+    def test_min_max(self):
+        x, y = np.array([4.0, 1.0]), np.array([2.0, 3.0])
+        assert b.MIN(x, y).tolist() == [2.0, 1.0]
+        assert b.MAX(x, y).tolist() == [4.0, 3.0]
+
+    def test_comparisons_output_bool_type(self):
+        assert b.LT.result_type(FP64, FP64) is BOOL
+        assert b.GE.result_type(INT32, INT32) is BOOL
+
+    def test_commutativity_flags(self):
+        assert b.PLUS.commutative
+        assert b.MIN.commutative
+        assert not b.LT.commutative
+        assert not b.FIRST.commutative
+
+    def test_div_by_zero_does_not_raise(self):
+        out = b.DIV(np.array([1.0]), np.array([0.0]))
+        assert np.isinf(out[0])
+
+    def test_result_type_policies(self):
+        assert b.FIRST.result_type(INT32, FP64) is INT32
+        assert b.SECOND.result_type(INT32, FP64) is FP64
+        assert b.PLUS.result_type(INT32, FP64) is FP64
+
+
+class TestIndexUnaryOps:
+    def test_tril_triu_diag(self):
+        vals = np.zeros(3)
+        rows = np.array([0, 1, 2])
+        cols = np.array([1, 1, 1])
+        assert iu.TRIL(vals, rows, cols, 0).tolist() == [False, True, True]
+        assert iu.TRIU(vals, rows, cols, 0).tolist() == [True, True, False]
+        assert iu.DIAG(vals, rows, cols, 0).tolist() == [False, True, False]
+        assert iu.OFFDIAG(vals, rows, cols, 0).tolist() == [True, False, True]
+
+    def test_value_comparators(self):
+        vals = np.array([1.0, 5.0])
+        z = np.zeros(2, dtype=np.int64)
+        assert iu.VALUEGT(vals, z, z, 2.0).tolist() == [False, True]
+        assert iu.VALUELE(vals, z, z, 1.0).tolist() == [True, False]
+
+    def test_rowindex_outputs_int(self):
+        out = iu.ROWINDEX(np.zeros(2), np.array([3, 4]), np.zeros(2, np.int64), 10)
+        assert out.tolist() == [13, 14]
+
+    def test_value_in_range(self):
+        vals = np.array([0.5, 1.0, 2.0])
+        z = np.zeros(3, dtype=np.int64)
+        assert iu.value_in_range(1.0, 2.0)(vals, z, z, None).tolist() == [False, True, False]
+
+
+class TestMonoids:
+    def test_identities_per_domain(self):
+        assert MIN_MONOID.identity(FP64) == np.inf
+        assert MIN_MONOID.identity(INT32) == np.iinfo(np.int32).max
+        assert PLUS_MONOID.identity(FP64) == 0.0
+        assert MAX_MONOID.identity(FP64) == -np.inf
+
+    def test_reduce_all(self):
+        assert MIN_MONOID.reduce_all(np.array([3.0, 1.0, 2.0]), FP64) == 1.0
+        assert PLUS_MONOID.reduce_all(np.array([3.0, 1.0]), FP64) == 4.0
+
+    def test_reduce_empty_gives_identity(self):
+        assert PLUS_MONOID.reduce_all(np.empty(0), FP64) == 0.0
+        assert MIN_MONOID.reduce_all(np.empty(0), FP64) == np.inf
+
+    def test_lor_reduce(self):
+        assert LOR_MONOID.reduce_all(np.array([False, True]), BOOL) == True  # noqa: E712
+
+    def test_user_defined_monoid(self):
+        from repro.graphblas.binaryop import BinaryOp
+
+        gcd = BinaryOp.define(np.gcd, name="GCD", ufunc=np.gcd, commutative=True)
+        m = Monoid.define(gcd, identity=0, name="GCD")
+        assert m.reduce_all(np.array([12, 18, 24]), INT32) == 6
+
+    def test_non_commutative_monoid_rejected(self):
+        with pytest.raises(DomainMismatch):
+            Monoid.define(b.FIRST, identity=0)
+
+    def test_ufunc_available_for_all_predefined(self):
+        for m in (MIN_MONOID, MAX_MONOID, PLUS_MONOID, LOR_MONOID):
+            assert m.ufunc is not None
+
+
+class TestSemirings:
+    def test_min_plus_components(self):
+        assert MIN_PLUS.add is MIN_MONOID
+        assert MIN_PLUS.multiply is b.PLUS
+
+    def test_result_types(self):
+        assert MIN_PLUS.result_type(FP64, FP64) is FP64
+        assert PLUS_PAIR.result_type(FP64, FP64) is FP64
+        assert LOR_LAND.result_type(BOOL, BOOL) is BOOL
+
+    def test_user_defined(self):
+        sr = Semiring.define(MAX_MONOID, b.TIMES, name="MAX_TIMES")
+        assert sr.add is MAX_MONOID

@@ -1,0 +1,163 @@
+"""Property-based tests: GraphBLAS operations against dense-dict oracles,
+and algebraic laws of the operator layer."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphblas import (
+    FP64,
+    IDENTITY,
+    MIN,
+    MIN_PLUS,
+    PLUS,
+    PLUS_TIMES,
+    Matrix,
+    REPLACE,
+    Vector,
+    apply,
+    ewise_add,
+    ewise_mult,
+    reduce_vector_to_scalar,
+    vxm,
+)
+from repro.graphblas.monoid import MIN_MONOID, PLUS_MONOID
+
+SIZE = 12
+
+# a sparse vector as a dict index -> value
+sparse_dicts = st.dictionaries(
+    st.integers(0, SIZE - 1),
+    st.floats(-50, 50, allow_nan=False),
+    max_size=SIZE,
+)
+
+sparse_matrices = st.dictionaries(
+    st.tuples(st.integers(0, SIZE - 1), st.integers(0, SIZE - 1)),
+    st.floats(0.1, 50, allow_nan=False),
+    max_size=40,
+)
+
+
+def vec_of(d: dict) -> Vector:
+    idx = sorted(d)
+    return Vector.from_coo(idx, [d[i] for i in idx], SIZE, dtype=FP64)
+
+
+def mat_of(d: dict) -> Matrix:
+    keys = sorted(d)
+    rows = [k[0] for k in keys]
+    cols = [k[1] for k in keys]
+    return Matrix.from_coo(rows, cols, [d[k] for k in keys], SIZE, SIZE, dtype=FP64)
+
+
+class TestEWiseOracles:
+    @given(sparse_dicts, sparse_dicts)
+    @settings(max_examples=80, deadline=None)
+    def test_ewise_add_union_oracle(self, a, b):
+        out = Vector.new(FP64, SIZE)
+        ewise_add(out, PLUS, vec_of(a), vec_of(b))
+        expected = {k: a.get(k, 0) + b.get(k, 0) if (k in a and k in b) else (a.get(k) if k in a else b[k]) for k in set(a) | set(b)}
+        got = out.to_dict()
+        assert set(got) == set(expected)
+        for k in expected:
+            assert np.isclose(got[k], expected[k])
+
+    @given(sparse_dicts, sparse_dicts)
+    @settings(max_examples=80, deadline=None)
+    def test_ewise_mult_intersection_oracle(self, a, b):
+        out = Vector.new(FP64, SIZE)
+        ewise_mult(out, PLUS, vec_of(a), vec_of(b))
+        expected = {k: a[k] + b[k] for k in set(a) & set(b)}
+        got = out.to_dict()
+        assert set(got) == set(expected)
+        for k in expected:
+            assert np.isclose(got[k], expected[k])
+
+    @given(sparse_dicts, sparse_dicts)
+    @settings(max_examples=50, deadline=None)
+    def test_ewise_add_commutative_for_min(self, a, b):
+        out1 = Vector.new(FP64, SIZE)
+        out2 = Vector.new(FP64, SIZE)
+        ewise_add(out1, MIN, vec_of(a), vec_of(b))
+        ewise_add(out2, MIN, vec_of(b), vec_of(a))
+        assert out1.isclose(out2)
+
+
+class TestApplyProperties:
+    @given(sparse_dicts)
+    @settings(max_examples=50, deadline=None)
+    def test_apply_identity_preserves(self, a):
+        v = vec_of(a)
+        out = Vector.new(FP64, SIZE)
+        apply(out, IDENTITY, v)
+        assert out.isequal(v)
+
+    @given(sparse_dicts, sparse_dicts)
+    @settings(max_examples=50, deadline=None)
+    def test_masked_apply_replace_is_restriction(self, a, m):
+        v = vec_of(a)
+        mask = vec_of({k: 1.0 for k in m})
+        out = Vector.new(FP64, SIZE)
+        apply(out, IDENTITY, v, mask=mask, desc=REPLACE)
+        expected = {k: a[k] for k in set(a) & set(m)}
+        assert out.to_dict() == expected
+
+
+class TestVxmOracle:
+    @given(sparse_dicts, sparse_matrices)
+    @settings(max_examples=60, deadline=None)
+    def test_min_plus_vxm_oracle(self, vd, md):
+        v = vec_of({k: abs(x) for k, x in vd.items()})
+        m = mat_of(md)
+        out = Vector.new(FP64, SIZE)
+        vxm(out, MIN_PLUS, v, m)
+        expected: dict[int, float] = {}
+        for i, x in v.to_dict().items():
+            for (r, c), w in md.items():
+                if r == i:
+                    cand = x + w
+                    if cand < expected.get(c, np.inf):
+                        expected[c] = cand
+        got = out.to_dict()
+        assert set(got) == set(expected)
+        for k in expected:
+            assert np.isclose(got[k], expected[k])
+
+    @given(sparse_dicts, sparse_matrices)
+    @settings(max_examples=40, deadline=None)
+    def test_plus_times_vxm_matches_dense(self, vd, md):
+        v = vec_of(vd)
+        m = mat_of(md)
+        out = Vector.new(FP64, SIZE)
+        vxm(out, PLUS_TIMES, v, m)
+        dense = v.to_dense(0.0) @ m.to_dense(0.0)
+        assert np.allclose(out.to_dense(0.0), dense)
+
+
+class TestMonoidLaws:
+    @given(st.lists(st.floats(-100, 100, allow_nan=False), max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_min_reduce_matches_python(self, xs):
+        v = Vector.from_coo(range(len(xs)), xs, max(len(xs), 1), dtype=FP64) if xs else Vector.new(FP64, 1)
+        got = reduce_vector_to_scalar(MIN_MONOID, v)
+        assert got == (min(xs) if xs else np.inf)
+
+    @given(st.lists(st.floats(-100, 100, allow_nan=False), max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_plus_reduce_matches_python(self, xs):
+        v = Vector.from_coo(range(len(xs)), xs, max(len(xs), 1), dtype=FP64) if xs else Vector.new(FP64, 1)
+        got = reduce_vector_to_scalar(PLUS_MONOID, v)
+        assert np.isclose(got, sum(xs) if xs else 0.0)
+
+    @given(
+        st.floats(-50, 50, allow_nan=False),
+        st.floats(-50, 50, allow_nan=False),
+        st.floats(-50, 50, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_min_plus_distributes(self, a, x, y):
+        """Semiring law: a + min(x, y) == min(a+x, a+y)."""
+        lhs = a + min(x, y)
+        rhs = min(a + x, a + y)
+        assert np.isclose(lhs, rhs)

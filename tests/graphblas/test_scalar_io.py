@@ -1,0 +1,98 @@
+"""Unit tests for GrB_Scalar and the import/export module."""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import FP64, INT32, Matrix, Vector
+from repro.graphblas.info import NoValue
+from repro.graphblas.io import (
+    matrix_from_csc,
+    matrix_from_scipy,
+    matrix_to_csc,
+    matrix_to_scipy,
+    vector_from_numpy,
+    vector_to_numpy,
+)
+from repro.graphblas.scalar import Scalar
+
+
+class TestScalar:
+    def test_empty_by_default(self):
+        s = Scalar.new(FP64)
+        assert s.is_empty
+        assert s.nvals == 0
+        with pytest.raises(NoValue):
+            s.extract()
+
+    def test_set_extract_roundtrip(self):
+        s = Scalar(FP64)
+        s.set(2.5)
+        assert s.extract() == 2.5
+        assert s.nvals == 1
+
+    def test_domain_cast(self):
+        s = Scalar(INT32, value=7.9)
+        assert s.extract() == 7
+
+    def test_clear(self):
+        s = Scalar(FP64, value=1.0)
+        s.clear()
+        assert s.is_empty
+        assert s.get(default=-1.0) == -1.0
+
+    def test_dup(self):
+        s = Scalar(FP64, value=3.0)
+        d = s.dup()
+        s.clear()
+        assert d.extract() == 3.0
+
+    def test_repr(self):
+        assert "empty" in repr(Scalar(FP64))
+        assert "3.0" in repr(Scalar(FP64, value=3.0))
+
+
+class TestScipyInterop:
+    def test_roundtrip(self, rng):
+        import scipy.sparse as sp
+
+        dense = np.where(rng.random((6, 9)) < 0.3, rng.random((6, 9)), 0.0)
+        m = matrix_from_scipy(sp.csr_array(dense))
+        assert np.allclose(m.to_dense(), dense)
+        back = matrix_to_scipy(m)
+        assert np.allclose(back.toarray(), dense)
+
+    def test_accepts_coo_input(self, rng):
+        import scipy.sparse as sp
+
+        coo = sp.coo_array(([1.0, 2.0], ([0, 1], [1, 0])), shape=(2, 2))
+        m = matrix_from_scipy(coo)
+        assert m.extract_element(0, 1) == 1.0
+
+    def test_duplicates_summed_like_scipy(self):
+        import scipy.sparse as sp
+
+        coo = sp.coo_array(([1.0, 2.0], ([0, 0], [1, 1])), shape=(2, 2))
+        m = matrix_from_scipy(coo)
+        assert m.extract_element(0, 1) == 3.0
+
+
+class TestCsc:
+    def test_roundtrip(self, rng):
+        dense = np.where(rng.random((5, 5)) < 0.4, rng.random((5, 5)), 0.0)
+        m = Matrix.from_dense(dense, missing=0.0)
+        indptr, rows, vals = matrix_to_csc(m)
+        back = matrix_from_csc(indptr, rows, vals, nrows=5)
+        assert back.isequal(m)
+
+
+class TestVectorNumpy:
+    def test_roundtrip(self):
+        v = vector_from_numpy(np.array([0.0, 2.0, 0.0]), missing=0.0)
+        assert v.nvals == 1
+        assert vector_to_numpy(v).tolist() == [0.0, 2.0, 0.0]
+
+    def test_rejects_non_vector(self):
+        from repro.graphblas.info import DimensionMismatch
+
+        with pytest.raises(DimensionMismatch):
+            vector_to_numpy(np.zeros(3))

@@ -1,0 +1,153 @@
+"""Unit + property tests for the sorted-index-set kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphblas import sparseutil as su
+
+index_sets = st.lists(st.integers(0, 200), max_size=60).map(
+    lambda xs: np.unique(np.array(xs, dtype=np.int64))
+)
+
+
+class TestMembership:
+    def test_basic(self):
+        hay = np.array([1, 3, 5, 9], dtype=np.int64)
+        needles = np.array([0, 1, 5, 10], dtype=np.int64)
+        assert su.membership(hay, needles).tolist() == [False, True, True, False]
+
+    def test_empty_haystack(self):
+        assert su.membership(np.empty(0, np.int64), np.array([1, 2])).tolist() == [False, False]
+
+    def test_empty_needles(self):
+        assert len(su.membership(np.array([1, 2]), np.empty(0, np.int64))) == 0
+
+    @given(index_sets, index_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_python_sets(self, hay, needles):
+        got = su.membership(hay, needles)
+        expected = np.isin(needles, hay)
+        assert np.array_equal(got, expected)
+
+
+class TestUnionMerge:
+    @given(index_sets, index_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_union_provenance(self, a, b):
+        merged, in_a, in_b, a_pos, b_pos = su.union_merge(a, b)
+        assert np.array_equal(merged, np.union1d(a, b))
+        # every union slot flagged in_a maps back to the right a element
+        assert np.array_equal(merged[in_a], a[a_pos[in_a]])
+        assert np.array_equal(merged[in_b], b[b_pos[in_b]])
+        # every slot comes from somewhere
+        assert np.all(in_a | in_b)
+
+
+class TestIntersectDifference:
+    @given(index_sets, index_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_intersect(self, a, b):
+        common, a_pos, b_pos = su.intersect(a, b)
+        assert np.array_equal(common, np.intersect1d(a, b))
+        assert np.array_equal(a[a_pos], common)
+        assert np.array_equal(b[b_pos], common)
+
+    @given(index_sets, index_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_difference(self, a, b):
+        kept, kept_pos = su.difference(a, b)
+        assert np.array_equal(kept, np.setdiff1d(a, b))
+        assert np.array_equal(a[kept_pos], kept)
+
+
+class TestGroupReduce:
+    def test_min_reduction(self):
+        keys = np.array([3, 1, 3, 1, 2], dtype=np.int64)
+        vals = np.array([5.0, 2.0, 1.0, 7.0, 4.0])
+        uk, red = su.group_reduce(keys, vals, np.minimum)
+        assert uk.tolist() == [1, 2, 3]
+        assert red.tolist() == [2.0, 4.0, 1.0]
+
+    def test_sum_reduction(self):
+        keys = np.array([0, 0, 1], dtype=np.int64)
+        vals = np.array([1.0, 2.0, 3.0])
+        uk, red = su.group_reduce(keys, vals, np.add)
+        assert red.tolist() == [3.0, 3.0]
+
+    def test_empty(self):
+        uk, red = su.group_reduce(np.empty(0, np.int64), np.empty(0), np.add)
+        assert len(uk) == 0 and len(red) == 0
+
+    @given(st.lists(st.tuples(st.integers(0, 10), st.floats(-100, 100)), max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_dict_oracle(self, pairs):
+        keys = np.array([k for k, _ in pairs], dtype=np.int64)
+        vals = np.array([v for _, v in pairs], dtype=np.float64)
+        uk, red = su.group_reduce(keys, vals, np.minimum)
+        oracle = {}
+        for k, v in pairs:
+            oracle[k] = min(oracle.get(k, np.inf), v)
+        assert uk.tolist() == sorted(oracle)
+        for k, r in zip(uk.tolist(), red.tolist()):
+            assert r == oracle[k]
+
+
+class TestSegmentGather:
+    def test_csr_rows(self):
+        indptr = np.array([0, 2, 2, 5], dtype=np.int64)
+        flat, lengths = su.segment_gather(indptr, np.array([0, 2], dtype=np.int64))
+        assert flat.tolist() == [0, 1, 2, 3, 4]
+        assert lengths.tolist() == [2, 3]
+
+    def test_row_order_preserved(self):
+        indptr = np.array([0, 2, 4], dtype=np.int64)
+        flat, lengths = su.segment_gather(indptr, np.array([1, 0], dtype=np.int64))
+        assert flat.tolist() == [2, 3, 0, 1]
+
+    def test_empty_rows(self):
+        indptr = np.array([0, 0, 0], dtype=np.int64)
+        flat, lengths = su.segment_gather(indptr, np.array([0, 1], dtype=np.int64))
+        assert len(flat) == 0
+        assert lengths.tolist() == [0, 0]
+
+
+class TestDedupeCoo:
+    def test_last_wins_without_dup_op(self):
+        r = np.array([0, 0], dtype=np.int64)
+        c = np.array([1, 1], dtype=np.int64)
+        v = np.array([5.0, 9.0])
+        rr, cc, vv = su.dedupe_coo(r, c, v, ncols=4, dup_ufunc=None)
+        assert vv.tolist() == [9.0]
+
+    def test_dup_ufunc_combines(self):
+        r = np.array([0, 0, 1], dtype=np.int64)
+        c = np.array([1, 1, 0], dtype=np.int64)
+        v = np.array([5.0, 9.0, 2.0])
+        rr, cc, vv = su.dedupe_coo(r, c, v, ncols=4, dup_ufunc=np.add)
+        assert rr.tolist() == [0, 1]
+        assert vv.tolist() == [14.0, 2.0]
+
+    def test_output_row_major_sorted(self):
+        r = np.array([1, 0, 1], dtype=np.int64)
+        c = np.array([0, 3, 2], dtype=np.int64)
+        v = np.array([1.0, 2.0, 3.0])
+        rr, cc, vv = su.dedupe_coo(r, c, v, ncols=4, dup_ufunc=None)
+        keys = rr * 4 + cc
+        assert np.all(np.diff(keys) > 0)
+
+
+class TestSortedUnique:
+    def test_detects_sorted(self):
+        assert su.is_sorted_unique(np.array([1, 2, 9], dtype=np.int64))
+
+    def test_detects_duplicates(self):
+        assert not su.is_sorted_unique(np.array([1, 1], dtype=np.int64))
+
+    def test_detects_disorder(self):
+        assert not su.is_sorted_unique(np.array([2, 1], dtype=np.int64))
+
+    def test_short_arrays_trivially_sorted(self):
+        assert su.is_sorted_unique(np.empty(0, np.int64))
+        assert su.is_sorted_unique(np.array([5], dtype=np.int64))

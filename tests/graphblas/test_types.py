@@ -1,0 +1,83 @@
+"""Unit tests for the GraphBLAS type system."""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import types
+from repro.graphblas.info import DomainMismatch
+
+
+class TestFromDtype:
+    def test_every_predefined_type_roundtrips(self):
+        for t in types.ALL_TYPES:
+            assert types.from_dtype(t.np_dtype) is t
+
+    def test_accepts_datatype_passthrough(self):
+        assert types.from_dtype(types.FP64) is types.FP64
+
+    def test_accepts_spec_name_string(self):
+        assert types.from_dtype("INT32") is types.INT32
+
+    def test_accepts_python_dtype_likes(self):
+        assert types.from_dtype(float) is types.FP64
+        assert types.from_dtype(bool) is types.BOOL
+        assert types.from_dtype("int64") is types.INT64
+
+    def test_rejects_unsupported_dtype(self):
+        with pytest.raises(DomainMismatch):
+            types.from_dtype(np.complex128)
+
+
+class TestClassification:
+    def test_flags_are_exclusive(self):
+        for t in types.ALL_TYPES:
+            assert sum([t.is_bool, t.is_integer, t.is_float]) == 1
+
+    def test_integer_family(self):
+        assert types.INT8 in types.INTEGER_TYPES
+        assert types.UINT64 in types.INTEGER_TYPES
+        assert types.FP32 not in types.INTEGER_TYPES
+
+
+class TestPromotion:
+    def test_same_type_identity(self):
+        assert types.promote(types.FP32, types.FP32) is types.FP32
+
+    def test_int_float_promotes_to_float(self):
+        assert types.promote(types.INT32, types.FP64) is types.FP64
+
+    def test_bool_int_promotes_to_int(self):
+        assert types.promote(types.BOOL, types.INT16) is types.INT16
+
+    def test_mixed_width_promotes_up(self):
+        assert types.promote(types.INT8, types.INT32) is types.INT32
+
+
+class TestIdentities:
+    def test_min_identity_float_is_inf(self):
+        assert types.default_identity_for(types.FP64, "min") == np.inf
+
+    def test_min_identity_int_is_max(self):
+        assert types.default_identity_for(types.INT32, "min") == np.iinfo(np.int32).max
+
+    def test_max_identity_float_is_neg_inf(self):
+        assert types.default_identity_for(types.FP32, "max") == -np.inf
+
+    def test_plus_identity_is_zero(self):
+        assert types.default_identity_for(types.INT64, "plus") == 0
+
+    def test_times_identity_is_one(self):
+        assert types.default_identity_for(types.FP64, "times") == 1.0
+
+    def test_bool_lor_land(self):
+        assert types.default_identity_for(types.BOOL, "lor") == False  # noqa: E712
+        assert types.default_identity_for(types.BOOL, "land") == True  # noqa: E712
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            types.default_identity_for(types.FP64, "nonsense")
+
+    def test_cast_scalar_and_array(self):
+        assert types.INT32.cast_scalar(7.9) == 7
+        arr = types.FP32.cast_array([1, 2, 3])
+        assert arr.dtype == np.float32

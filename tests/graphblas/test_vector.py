@@ -1,0 +1,162 @@
+"""Unit tests for the Vector container."""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import BOOL, FP64, INT64, Vector
+from repro.graphblas.info import (
+    DimensionMismatch,
+    InvalidIndex,
+    NoValue,
+)
+
+
+class TestConstruction:
+    def test_new_is_empty(self):
+        v = Vector.new(FP64, 10)
+        assert v.size == 10
+        assert v.nvals == 0
+        assert v.dtype is FP64
+
+    def test_from_coo_sorts_and_stores(self):
+        v = Vector.from_coo([5, 1, 3], [50.0, 10.0, 30.0], 8)
+        assert v.indices.tolist() == [1, 3, 5]
+        assert v.values.tolist() == [10.0, 30.0, 50.0]
+
+    def test_from_coo_duplicates_last_wins(self):
+        v = Vector.from_coo([2, 2], [1.0, 9.0], 4)
+        assert v.to_dict() == {2: 9.0}
+
+    def test_from_coo_duplicates_with_dup_op(self):
+        from repro.graphblas import PLUS
+
+        v = Vector.from_coo([2, 2, 0], [1.0, 9.0, 4.0], 4, dup_op=PLUS)
+        assert v.to_dict() == {0: 4.0, 2: 10.0}
+
+    def test_from_coo_out_of_range_raises(self):
+        with pytest.raises(InvalidIndex):
+            Vector.from_coo([4], [1.0], 4)
+
+    def test_from_coo_length_mismatch_raises(self):
+        with pytest.raises(DimensionMismatch):
+            Vector.from_coo([1, 2], [1.0], 4)
+
+    def test_from_dense_drops_missing(self):
+        v = Vector.from_dense(np.array([0.0, 3.0, 0.0, 4.0]), missing=0.0)
+        assert v.to_dict() == {1: 3.0, 3: 4.0}
+
+    def test_from_dense_nan_missing(self):
+        v = Vector.from_dense(np.array([np.nan, 2.0]), missing=np.nan)
+        assert v.to_dict() == {1: 2.0}
+
+    def test_from_dense_keeps_all_without_missing(self):
+        v = Vector.from_dense(np.array([0.0, 1.0]))
+        assert v.nvals == 2
+
+    def test_full(self):
+        v = Vector.full(np.inf, 5)
+        assert v.nvals == 5
+        assert np.all(v.values == np.inf)
+
+    def test_scalar_broadcast_values(self):
+        v = Vector.from_coo([0, 2], 7.0, 4)
+        assert v.to_dict() == {0: 7.0, 2: 7.0}
+
+
+class TestElementAccess:
+    def test_set_get_roundtrip(self):
+        v = Vector.new(FP64, 4)
+        v.set_element(2, 5.5)
+        assert v.extract_element(2) == 5.5
+
+    def test_set_overwrites(self):
+        v = Vector.new(FP64, 4)
+        v.set_element(2, 5.5).set_element(2, 6.5)
+        assert v.extract_element(2) == 6.5
+        assert v.nvals == 1
+
+    def test_insert_keeps_sorted(self):
+        v = Vector.new(FP64, 10)
+        for i in (7, 1, 4):
+            v.set_element(i, float(i))
+        assert v.indices.tolist() == [1, 4, 7]
+
+    def test_missing_raises_novalue(self):
+        v = Vector.new(FP64, 4)
+        with pytest.raises(NoValue):
+            v.extract_element(0)
+
+    def test_out_of_range_raises(self):
+        v = Vector.new(FP64, 4)
+        with pytest.raises(InvalidIndex):
+            v.set_element(4, 1.0)
+        with pytest.raises(InvalidIndex):
+            v.extract_element(-1)
+
+    def test_get_with_default(self):
+        v = Vector.new(FP64, 4)
+        assert v.get(1, default=-1.0) == -1.0
+        v.set_element(1, 2.0)
+        assert v.get(1) == 2.0
+
+    def test_remove_element(self):
+        v = Vector.from_coo([1, 2], [1.0, 2.0], 4)
+        v.remove_element(1)
+        assert v.to_dict() == {2: 2.0}
+        v.remove_element(3)  # absent: no-op
+        assert v.nvals == 1
+
+    def test_contains(self):
+        v = Vector.from_coo([1], [1.0], 4)
+        assert 1 in v
+        assert 0 not in v
+
+
+class TestWholeObject:
+    def test_clear(self):
+        v = Vector.from_coo([1], [1.0], 4)
+        v.clear()
+        assert v.nvals == 0
+        assert v.size == 4
+
+    def test_dup_is_deep(self):
+        v = Vector.from_coo([1], [1.0], 4)
+        w = v.dup()
+        w.set_element(2, 5.0)
+        assert v.nvals == 1 and w.nvals == 2
+
+    def test_to_dense_fill(self):
+        v = Vector.from_coo([1], [3.0], 3)
+        assert v.to_dense(fill=-1.0).tolist() == [-1.0, 3.0, -1.0]
+
+    def test_isequal_and_isclose(self):
+        a = Vector.from_coo([0, 1], [1.0, 2.0], 3)
+        b = Vector.from_coo([0, 1], [1.0, 2.0], 3)
+        c = Vector.from_coo([0, 1], [1.0, 2.0 + 1e-12], 3)
+        assert a.isequal(b)
+        assert not a.isequal(c)
+        assert a.isclose(c, rel_tol=1e-9)
+
+    def test_isequal_pattern_mismatch(self):
+        a = Vector.from_coo([0], [1.0], 3)
+        b = Vector.from_coo([1], [1.0], 3)
+        assert not a.isequal(b)
+
+    def test_values_are_readonly_views(self):
+        v = Vector.from_coo([0], [1.0], 3)
+        with pytest.raises(ValueError):
+            v.values[0] = 9.0
+        with pytest.raises(ValueError):
+            v.indices[0] = 2
+
+    def test_repr_mentions_type_and_size(self):
+        assert "FP64" in repr(Vector.new(FP64, 3))
+
+    def test_wait_is_noop(self):
+        v = Vector.new(BOOL, 2)
+        assert v.wait() is v
+
+    def test_dtype_casting_on_set(self):
+        v = Vector.new(INT64, 4)
+        v.set_element(0, 3.7)
+        assert v.extract_element(0) == 3

@@ -1,0 +1,117 @@
+"""Unit + property tests for the graph generators (dataset substitutes)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import generators as gen
+from repro.graphs.validation import validate_graph
+
+
+class TestDeterministicFamilies:
+    def test_path(self):
+        g = gen.path_graph(5)
+        assert g.num_vertices == 5
+        assert g.num_edges == 8  # 4 undirected edges stored twice
+        validate_graph(g)
+
+    def test_cycle(self):
+        g = gen.cycle_graph(6)
+        assert np.all(g.out_degree() == 2)
+        validate_graph(g)
+
+    def test_star(self):
+        g = gen.star_graph(7)
+        assert g.out_degree()[0] == 6
+        assert np.all(g.out_degree()[1:] == 1)
+        validate_graph(g)
+
+    def test_complete(self):
+        g = gen.complete_graph(5)
+        assert np.all(g.out_degree() == 4)
+        validate_graph(g)
+
+    def test_grid(self):
+        g = gen.grid_2d(3, 4)
+        assert g.num_vertices == 12
+        # corner degree 2, edge degree 3, interior degree 4
+        assert sorted(np.unique(g.out_degree()).tolist()) == [2, 3, 4]
+        validate_graph(g)
+
+
+class TestRandomFamilies:
+    def test_erdos_renyi_scale(self):
+        g = gen.erdos_renyi(500, avg_degree=8, seed=1)
+        assert g.num_vertices == 500
+        # ~n*avg_degree stored half-edges, minus collision/self-loop losses
+        assert 0.8 * 500 * 8 <= g.num_edges <= 500 * 8
+        validate_graph(g)
+
+    def test_erdos_renyi_deterministic(self):
+        a = gen.erdos_renyi(100, seed=3)
+        b = gen.erdos_renyi(100, seed=3)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_erdos_renyi_seeds_differ(self):
+        a = gen.erdos_renyi(100, seed=3)
+        b = gen.erdos_renyi(100, seed=4)
+        assert not np.array_equal(a.indices, b.indices)
+
+    def test_barabasi_albert_power_law_head(self):
+        g = gen.barabasi_albert(800, m_per_node=4, seed=2)
+        deg = g.out_degree()
+        assert deg.max() > 4 * deg.mean()  # heavy tail
+        validate_graph(g)
+
+    def test_barabasi_albert_tiny_n_is_clique(self):
+        g = gen.barabasi_albert(3, m_per_node=4)
+        assert np.all(g.out_degree() == 2)
+
+    def test_watts_strogatz_degree(self):
+        g = gen.watts_strogatz(200, k=6, beta=0.0, seed=5)
+        assert np.all(g.out_degree() == 6)
+        validate_graph(g)
+
+    def test_watts_strogatz_rewiring_changes_structure(self):
+        a = gen.watts_strogatz(200, k=6, beta=0.0, seed=5)
+        b = gen.watts_strogatz(200, k=6, beta=0.5, seed=5)
+        assert not np.array_equal(a.indices, b.indices)
+
+    def test_rmat_size(self):
+        g = gen.rmat(8, edge_factor=8, seed=6)
+        assert g.num_vertices == 256
+        validate_graph(g)
+
+    def test_rmat_skew(self):
+        g = gen.rmat(10, edge_factor=8, seed=7)
+        deg = g.out_degree()
+        assert deg.max() > 8 * max(deg.mean(), 1)
+
+    def test_rmat_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            gen.rmat(4, a=0.5, b=0.4, c=0.3)
+
+    def test_road_network(self):
+        g = gen.road_network(20, 20, seed=8)
+        assert g.num_vertices == 400
+        validate_graph(g)
+        # near-planar: max degree stays small
+        assert g.out_degree().max() <= 8
+
+
+@given(
+    n=st.integers(2, 60),
+    seed=st.integers(0, 5),
+    family=st.sampled_from(["er", "ws", "ba"]),
+)
+@settings(max_examples=30, deadline=None)
+def test_generators_always_produce_valid_graphs(n, seed, family):
+    if family == "er":
+        g = gen.erdos_renyi(n, avg_degree=4, seed=seed)
+    elif family == "ws":
+        g = gen.watts_strogatz(n, k=4, beta=0.2, seed=seed)
+    else:
+        g = gen.barabasi_albert(n, m_per_node=3, seed=seed)
+    validate_graph(g)
+    assert g.num_vertices == n

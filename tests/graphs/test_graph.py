@@ -1,0 +1,104 @@
+"""Unit tests for the Graph container."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.graph import Graph
+
+
+class TestFromEdges:
+    def test_basic_csr(self, diamond_graph):
+        g = diamond_graph
+        assert g.num_vertices == 4
+        assert g.num_edges == 4
+        tgts, wts = g.neighbors(0)
+        assert tgts.tolist() == [1, 2]
+        assert wts.tolist() == [2.0, 7.0]
+
+    def test_default_unit_weights(self):
+        g = Graph.from_edges([0], [1], n=2)
+        assert g.weights.tolist() == [1.0]
+        assert g.has_unit_weights()
+
+    def test_infers_n(self):
+        g = Graph.from_edges([0, 5], [3, 2])
+        assert g.num_vertices == 6
+
+    def test_undirected_symmetrizes(self):
+        g = Graph.from_edges([0], [1], [4.0], n=2, directed=False)
+        assert g.num_edges == 2
+        assert g.neighbors(1)[0].tolist() == [0]
+
+    def test_self_loops_removed(self):
+        g = Graph.from_edges([0, 1], [0, 0], n=2)
+        assert g.num_edges == 1
+
+    def test_duplicate_edges_keep_min_weight(self):
+        g = Graph.from_edges([0, 0], [1, 1], [5.0, 2.0], n=2)
+        assert g.weights.tolist() == [2.0]
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            Graph.from_edges([0], [5], n=2)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Graph.from_edges([0, 1], [1], n=2)
+        with pytest.raises(ValueError):
+            Graph.from_edges([0], [1], [1.0, 2.0], n=2)
+
+
+class TestConversions:
+    def test_to_matrix_roundtrip(self, diamond_graph):
+        A = diamond_graph.to_matrix()
+        assert A.shape == (4, 4)
+        assert A.extract_element(0, 2) == 7.0
+        g2 = Graph.from_matrix(A)
+        assert np.array_equal(g2.indices, diamond_graph.indices)
+
+    def test_to_edges_roundtrip(self, diamond_graph):
+        src, dst, w = diamond_graph.to_edges()
+        g2 = Graph.from_edges(src, dst, w, n=4)
+        assert np.array_equal(g2.weights, diamond_graph.weights)
+
+    def test_reverse(self, diamond_graph):
+        r = diamond_graph.reverse()
+        tgts, wts = r.neighbors(2)
+        assert tgts.tolist() == [0, 1]
+        assert sorted(wts.tolist()) == [3.0, 7.0]
+
+    def test_csr_views(self, diamond_graph):
+        indptr, indices, weights = diamond_graph.csr()
+        assert indptr[-1] == len(indices) == len(weights)
+
+    def test_with_weights(self, diamond_graph):
+        g2 = diamond_graph.with_weights(np.full(4, 9.0))
+        assert g2.max_weight == 9.0
+        assert diamond_graph.max_weight == 7.0
+        with pytest.raises(ValueError):
+            diamond_graph.with_weights(np.ones(3))
+
+    def test_from_matrix_requires_square(self):
+        from repro.graphblas import FP64, Matrix
+
+        with pytest.raises(ValueError):
+            Graph.from_matrix(Matrix.new(FP64, 2, 3))
+
+
+class TestProperties:
+    def test_out_degree(self, diamond_graph):
+        assert diamond_graph.out_degree().tolist() == [2, 1, 1, 0]
+
+    def test_empty_graph(self):
+        g = Graph.empty(5)
+        assert g.num_vertices == 5
+        assert g.num_edges == 0
+        assert g.max_weight == 0.0
+        assert g.has_unit_weights()
+
+    def test_weight_extremes(self, diamond_graph):
+        assert diamond_graph.min_weight == 1.0
+        assert diamond_graph.max_weight == 7.0
+
+    def test_repr(self, diamond_graph):
+        assert "diamond" in repr(diamond_graph)

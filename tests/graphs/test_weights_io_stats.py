@@ -1,0 +1,228 @@
+"""Unit tests for weights, file IO, statistics, datasets, validation."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import datasets, generators as gen
+from repro.graphs.graph import Graph
+from repro.graphs.io import (
+    read_matrix_market,
+    read_snap_edgelist,
+    write_matrix_market,
+    write_snap_edgelist,
+)
+from repro.graphs.stats import bfs_levels, connected_components, graph_stats
+from repro.graphs.validation import GraphInvariantError, validate_graph
+from repro.graphs.weights import assign_weights, hash_to_unit, unit_weights
+
+
+class TestWeights:
+    def test_unit_weights(self):
+        g = gen.erdos_renyi(50, seed=1)
+        gw = assign_weights(g, "uniform", 0.1, 1.0)
+        back = unit_weights(gw)
+        assert back.has_unit_weights()
+
+    def test_uniform_range(self):
+        g = gen.erdos_renyi(200, seed=1)
+        gw = assign_weights(g, "uniform", low=0.25, high=0.75)
+        assert gw.weights.min() >= 0.25
+        assert gw.weights.max() < 0.75
+
+    def test_undirected_symmetry(self):
+        g = gen.watts_strogatz(100, k=4, beta=0.3, seed=2)
+        gw = assign_weights(g, "uniform", 0.1, 1.0, seed=9)
+        validate_graph(gw)  # includes the weight-symmetry check
+
+    def test_integer_weights(self):
+        g = gen.erdos_renyi(80, seed=1)
+        gw = assign_weights(g, "integer", low=1, high=10)
+        assert np.all(gw.weights == np.round(gw.weights))
+        assert gw.weights.min() >= 1
+        assert gw.weights.max() <= 10
+
+    def test_exponential_positive(self):
+        g = gen.erdos_renyi(80, seed=1)
+        gw = assign_weights(g, "exponential", 0.1, 1.0)
+        assert np.all(gw.weights > 0)
+
+    def test_seed_changes_weights(self):
+        g = gen.erdos_renyi(80, seed=1)
+        a = assign_weights(g, "uniform", seed=0)
+        b = assign_weights(g, "uniform", seed=1)
+        assert not np.array_equal(a.weights, b.weights)
+
+    def test_unknown_distribution(self):
+        g = gen.erdos_renyi(10, seed=1)
+        with pytest.raises(ValueError):
+            assign_weights(g, "cauchy")
+
+    def test_hash_to_unit_deterministic(self):
+        keys = np.arange(100, dtype=np.int64)
+        assert np.array_equal(hash_to_unit(keys, 3), hash_to_unit(keys, 3))
+        assert not np.array_equal(hash_to_unit(keys, 3), hash_to_unit(keys, 4))
+        u = hash_to_unit(keys, 0)
+        assert u.min() >= 0.0 and u.max() < 1.0
+
+
+class TestSnapIO:
+    def test_roundtrip_directed(self, tmp_path, diamond_graph):
+        path = tmp_path / "g.txt"
+        write_snap_edgelist(diamond_graph, path)
+        g2 = read_snap_edgelist(path, directed=True)
+        assert g2.num_vertices == 4
+        assert np.allclose(np.sort(g2.weights), np.sort(diamond_graph.weights))
+
+    def test_roundtrip_undirected(self, tmp_path):
+        g = gen.watts_strogatz(40, k=4, beta=0.2, seed=3)
+        path = tmp_path / "g.txt"
+        write_snap_edgelist(g, path)
+        g2 = read_snap_edgelist(path, directed=False)
+        assert g2.num_edges == g.num_edges
+
+    def test_gzip_support(self, tmp_path, diamond_graph):
+        path = tmp_path / "g.txt.gz"
+        write_snap_edgelist(diamond_graph, path)
+        g2 = read_snap_edgelist(path, directed=True)
+        assert g2.num_vertices == 4
+
+    def test_comments_and_relabel(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n% other comment\n10 20\n20 30\n")
+        g = read_snap_edgelist(path, directed=True, relabel=True)
+        assert g.num_vertices == 3
+        g_raw = read_snap_edgelist(path, directed=True, relabel=False)
+        assert g_raw.num_vertices == 31
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        g = read_snap_edgelist(path)
+        assert g.num_vertices == 0
+
+
+class TestMatrixMarketIO:
+    def test_roundtrip_general(self, tmp_path, diamond_graph):
+        path = tmp_path / "g.mtx"
+        write_matrix_market(diamond_graph, path)
+        g2 = read_matrix_market(path)
+        assert g2.num_vertices == 4
+        assert g2.num_edges == diamond_graph.num_edges
+
+    def test_roundtrip_symmetric(self, tmp_path):
+        g = gen.grid_2d(4, 4)
+        path = tmp_path / "g.mtx"
+        write_matrix_market(g, path)
+        g2 = read_matrix_market(path)
+        assert g2.num_edges == g.num_edges  # symmetric expansion restores both
+
+    def test_pattern_field(self, tmp_path):
+        path = tmp_path / "p.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate pattern general\n3 3 2\n1 2\n2 3\n")
+        g = read_matrix_market(path)
+        assert g.num_edges == 2
+        assert g.has_unit_weights()
+
+    def test_rejects_non_mm(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("hello\n1 1 0\n")
+        with pytest.raises(ValueError):
+            read_matrix_market(path)
+
+    def test_rejects_rectangular(self, tmp_path):
+        path = tmp_path / "rect.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate real general\n2 3 1\n1 1 1.0\n")
+        with pytest.raises(ValueError):
+            read_matrix_market(path)
+
+
+class TestStats:
+    def test_bfs_levels_grid(self, grid_graph):
+        lv = bfs_levels(grid_graph, 0)
+        # manhattan distance on the mesh
+        assert lv[0] == 0
+        assert lv[7] == 7
+        assert lv[63] == 14
+
+    def test_bfs_unreachable(self):
+        g = Graph.from_edges([0], [1], n=4)
+        lv = bfs_levels(g, 0)
+        assert lv.tolist() == [0, 1, -1, -1]
+
+    def test_connected_components(self):
+        g = Graph.from_edges([0, 2], [1, 3], n=5, directed=False)
+        labels = connected_components(g)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert len(set(labels.tolist())) == 3
+
+    def test_graph_stats_fields(self, grid_graph):
+        s = graph_stats(grid_graph)
+        assert s.num_vertices == 64
+        assert s.num_components == 1
+        assert s.unit_weights
+        assert s.bfs_eccentricity_from_0 == 14
+        assert "graph" in s.as_row()
+
+
+class TestDatasets:
+    def test_catalog_nonempty(self):
+        assert len(datasets.catalog()) >= 10
+
+    def test_load_unknown_raises(self):
+        with pytest.raises(KeyError):
+            datasets.load("no-such-graph")
+
+    def test_load_is_cached_but_weights_are_fresh(self):
+        a = datasets.load("grid-tiny")
+        b = datasets.load("grid-tiny")
+        assert np.array_equal(a.indices, b.indices)
+        a.weights[:] = 5.0  # mutating one copy must not poison the cache
+        c = datasets.load("grid-tiny")
+        assert c.has_unit_weights()
+
+    def test_weighted_load(self):
+        g = datasets.load("grid-tiny", weights="uniform")
+        assert not g.has_unit_weights()
+
+    def test_suites_sorted_by_node_count(self):
+        for kind in ("ci", "paper"):
+            names = datasets.suite_names(kind)
+            sizes = [datasets.load(n).num_vertices for n in names]
+            assert sizes == sorted(sizes)
+
+    def test_unknown_suite(self):
+        with pytest.raises(ValueError):
+            datasets.suite_names("nightly")
+
+    def test_specs_carry_provenance(self):
+        g = datasets.load("facebook-sim")
+        assert "mimics" in g.meta
+
+
+class TestValidation:
+    def test_valid_graph_passes(self, diamond_graph):
+        assert validate_graph(diamond_graph) is diamond_graph
+
+    def test_detects_negative_weight(self):
+        g = Graph.from_edges([0], [1], [1.0], n=2)
+        g.weights[0] = -1.0
+        with pytest.raises(GraphInvariantError):
+            validate_graph(g)
+
+    def test_detects_asymmetric_undirected(self):
+        g = Graph.from_edges([0], [1], [1.0], n=2, directed=True)
+        g.directed = False  # lie about symmetry
+        with pytest.raises(GraphInvariantError):
+            validate_graph(g)
+
+    def test_detects_broken_indptr(self, diamond_graph):
+        diamond_graph.indptr[-1] = 99
+        with pytest.raises(GraphInvariantError):
+            validate_graph(diamond_graph)
+
+    def test_detects_self_loop(self):
+        g = Graph.from_edges([0], [1], n=2)
+        g.indices[0] = 0
+        with pytest.raises(GraphInvariantError):
+            validate_graph(g)

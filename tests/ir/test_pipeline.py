@@ -1,0 +1,221 @@
+"""Unit tests for the translation pipeline: nodes → lowering → fusion →
+interpretation."""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import FP64, IDENTITY, MIN, MIN_PLUS, PLUS, Matrix, Vector
+from repro.graphblas.unaryop import threshold_gt
+from repro.ir import (
+    ApplyUnary,
+    Assign,
+    Clear,
+    Declare,
+    EWiseAdd,
+    EWiseMult,
+    GrBCall,
+    Interpreter,
+    LoweredWhile,
+    NvalsNonzero,
+    Program,
+    Reduce,
+    Ref,
+    SetElement,
+    SetScalar,
+    VxM,
+    While,
+    count_calls,
+    fuse_program,
+    lower_program,
+    run_program,
+)
+from repro.ir.patterns import filter_vertices, min_merge, set_union
+
+
+def lowered(statements, name="t"):
+    return lower_program(Program(statements=tuple(statements), name=name))
+
+
+class TestLowering:
+    def test_assign_ref_becomes_identity_apply(self):
+        prog = lowered([Assign("y", Ref("x"))])
+        (call,) = prog.calls
+        assert call.fn == "apply"
+        assert call.args["in0"] == "x"
+
+    def test_nested_expression_introduces_temp(self):
+        prog = lowered(
+            [Assign("t", EWiseAdd(MIN, Ref("t"), VxM(MIN_PLUS, Ref("v"), Ref("A"))))]
+        )
+        assert [c.fn for c in prog.calls] == ["vxm", "ewise_add"]
+        tmp = prog.calls[0].out
+        assert tmp.startswith("_tmp")
+        assert prog.calls[1].args["in1"] == tmp
+
+    def test_while_nests(self):
+        prog = lowered(
+            [
+                While(
+                    cond=NvalsNonzero("c"),
+                    pre=(Assign("c", Ref("x")),),
+                    body=(Clear("x"),),
+                )
+            ]
+        )
+        (loop,) = prog.calls
+        assert isinstance(loop, LoweredWhile)
+        assert loop.cond_name == "c"
+        assert loop.pre[0].fn == "apply"
+        assert loop.body[0].fn == "clear"
+
+    def test_count_calls_skips_bookkeeping(self):
+        prog = lowered(
+            [Declare("v", "vector", FP64, size=3), SetScalar("i", 0), Clear("v")]
+        )
+        assert count_calls(prog.calls) == 1
+        assert count_calls(prog.calls, include_bookkeeping=True) == 3
+
+    def test_mask_modifiers_carried(self):
+        prog = lowered([Assign("y", Ref("x"), mask="m", replace=True, complement=True)])
+        call = prog.calls[0]
+        assert call.mask == "m" and call.replace and call.complement
+
+
+class TestFusion:
+    def test_filter_pair_fuses(self):
+        prog = lowered(filter_vertices("y", "x", threshold_gt(1.0)))
+        fused, report = fuse_program(prog)
+        assert report.filters_fused == 1
+        assert report.calls_after == 1
+        assert fused.calls[0].fn == "fused_filter"
+
+    def test_no_fuse_when_predicate_still_live(self):
+        stmts = filter_vertices("y", "x", threshold_gt(1.0))
+        stmts.append(Assign("z", Ref("y_pred")))  # keeps the predicate alive
+        prog = lowered(stmts)
+        _, report = fuse_program(prog)
+        assert report.filters_fused == 0
+
+    def test_no_fuse_for_loop_carried_read(self):
+        # the predicate is read at an earlier position of the loop body on
+        # the next iteration, so eliding its write would be unsound
+        pred = threshold_gt(1.0)
+        body = (
+            Assign("z", Ref("p")),  # earlier-position read (next iteration)
+            Assign("p", ApplyUnary(pred, Ref("x"))),
+            Assign("y", ApplyUnary(IDENTITY, Ref("x")), mask="p", replace=True),
+        )
+        prog = lowered(
+            [While(cond=NvalsNonzero("y"), pre=(), body=body)]
+        )
+        _, report = fuse_program(prog)
+        assert report.filters_fused == 0
+
+    def test_fuse_when_loop_rewrites_before_read(self):
+        pred = threshold_gt(1.0)
+        body = (
+            Assign("p", ApplyUnary(pred, Ref("x"))),
+            Assign("y", ApplyUnary(IDENTITY, Ref("x")), mask="p", replace=True),
+        )
+        prog = lowered([While(cond=NvalsNonzero("y"), pre=(), body=body)])
+        _, report = fuse_program(prog)
+        assert report.filters_fused == 1
+
+    def test_masked_vxm_fusion(self):
+        stmts = [
+            Assign("m", ApplyUnary(IDENTITY, Ref("t")), mask="b", replace=True),
+            Assign("r", VxM(MIN_PLUS, Ref("m"), Ref("A"))),
+        ]
+        prog = lowered(stmts)
+        fused, report = fuse_program(prog)
+        assert report.masked_vxm_fused == 1
+        assert fused.calls[0].fn == "fused_masked_vxm"
+        assert fused.calls[0].args["in_mask"] == "b"
+
+
+class TestInterpreter:
+    def test_declare_and_set_element(self):
+        prog = lowered(
+            [
+                Declare("v", "vector", FP64, size=4),
+                SetElement("v", 2, 9.0),
+            ]
+        )
+        interp = run_program(prog)
+        assert interp.env["v"].to_dict() == {2: 9.0}
+
+    def test_thunked_values_resolve_against_env(self):
+        prog = lowered(
+            [
+                Declare("v", "vector", FP64, size=4),
+                SetScalar("k", 3),
+                SetElement("v", lambda env: env["k"], lambda env: env["k"] * 2.0),
+            ]
+        )
+        interp = run_program(prog)
+        assert interp.env["v"].to_dict() == {3: 6.0}
+
+    def test_while_loop_executes(self):
+        # keep halving the stored value count via a filter
+        prog = Program(
+            statements=(
+                Declare("keep", "vector", FP64, size_of="x"),
+                While(
+                    cond=NvalsNonzero("x"),
+                    pre=(),
+                    body=(Clear("x"),),
+                ),
+            ),
+        )
+        x = Vector.from_coo([0, 1], [1.0, 2.0], 3)
+        interp = run_program(lower_program(prog), {"x": x})
+        assert interp.env["x"].nvals == 0
+
+    def test_reduce_lands_scalar_in_env(self):
+        from repro.graphblas.monoid import PLUS_MONOID
+
+        prog = lowered([Assign("total", Reduce(PLUS_MONOID, Ref("x")))])
+        x = Vector.from_coo([0, 1], [2.0, 3.0], 3)
+        interp = run_program(prog, {"x": x})
+        assert interp.env["total"] == 5.0
+
+    def test_counts_executed_calls(self):
+        prog = lowered([Assign("y", Ref("x")), Assign("z", Ref("y"))])
+        x = Vector.from_coo([0], [1.0], 2)
+        interp = run_program(prog, {"x": x})
+        assert interp.calls_executed == 2
+        assert interp.calls_by_fn == {"apply": 2}
+
+    def test_unknown_name_raises(self):
+        prog = lowered([Assign("y", Ref("missing"))])
+        with pytest.raises(KeyError, match="missing"):
+            run_program(prog)
+
+    def test_ewise_mult_dispatch(self):
+        prog = lowered([Assign("z", EWiseMult(PLUS, Ref("a"), Ref("b")))])
+        a = Vector.from_coo([0, 1], [1.0, 2.0], 3)
+        b = Vector.from_coo([1, 2], [10.0, 20.0], 3)
+        interp = run_program(prog, {"a": a, "b": b})
+        assert interp.env["z"].to_dict() == {1: 12.0}
+
+    def test_set_union_pattern(self):
+        prog = lowered([set_union("s", "s", "b")])
+        s = Vector.from_coo([0], [True], 3)
+        b = Vector.from_coo([2], [True], 3)
+        interp = run_program(prog, {"s": s, "b": b})
+        assert sorted(interp.env["s"].to_dict()) == [0, 2]
+
+    def test_min_merge_pattern(self):
+        prog = lowered([min_merge("t", "r")])
+        t = Vector.from_coo([0, 1], [5.0, 1.0], 3)
+        r = Vector.from_coo([0, 2], [2.0, 9.0], 3)
+        interp = run_program(prog, {"t": t, "r": r})
+        assert interp.env["t"].to_dict() == {0: 2.0, 1: 1.0, 2: 9.0}
+
+    def test_fused_filter_equals_two_call_form(self):
+        pred = threshold_gt(1.5)
+        x = Vector.from_coo([0, 1, 2], [1.0, 2.0, 3.0], 4)
+        unfused = run_program(lowered(filter_vertices("y", "x", pred)), {"x": x.dup()})
+        fused_prog, _ = fuse_program(lowered(filter_vertices("y", "x", pred)))
+        fused = run_program(fused_prog, {"x": x.dup()})
+        assert unfused.env["y"].isequal(fused.env["y"])

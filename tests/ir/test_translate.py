@@ -1,0 +1,87 @@
+"""End-to-end tests of the delta-stepping IR program (the paper's worked
+example, executed through the full translation pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import datasets, generators as gen
+from repro.graphs.weights import assign_weights
+from repro.ir import (
+    count_calls,
+    delta_stepping_program,
+    fuse_program,
+    lower_program,
+    run_delta_stepping_ir,
+)
+from repro.sssp import dijkstra
+
+
+class TestProgramShape:
+    def test_static_call_count_matches_fig2(self):
+        """Fig. 2 performs 19 distinct GraphBLAS operations (excluding
+        declarations): 4 matrix-filter applies, 2+2 outer-check applies,
+        2 bucket applies, 6 inner-loop ops, the heavy-phase 3, setElement,
+        and clear."""
+        lowered = lower_program(delta_stepping_program())
+        assert count_calls(lowered.calls) == 19
+
+    def test_fusion_reduces_static_calls(self):
+        lowered = lower_program(delta_stepping_program())
+        _, report = fuse_program(lowered)
+        assert report.calls_before == 19
+        assert report.calls_after == 15
+        assert report.filters_fused == 3
+        assert report.masked_vxm_fused == 1
+
+    def test_program_is_reusable(self):
+        """The same Program object runs on different graphs/parameters."""
+        prog = delta_stepping_program()
+        lowered = lower_program(prog)
+        assert count_calls(lowered.calls) == count_calls(lower_program(prog).calls)
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("fuse", [False, True])
+    def test_matches_dijkstra_unit(self, grid_graph, fuse):
+        r = run_delta_stepping_ir(grid_graph, 0, 1.0, fuse=fuse)
+        assert r.same_distances(dijkstra(grid_graph, 0))
+
+    @pytest.mark.parametrize("fuse", [False, True])
+    def test_matches_dijkstra_weighted(self, random_weighted_graph, fuse):
+        r = run_delta_stepping_ir(random_weighted_graph, 0, 0.5, fuse=fuse)
+        assert r.same_distances(dijkstra(random_weighted_graph, 0))
+
+    def test_fused_executes_fewer_calls(self, grid_graph):
+        unfused = run_delta_stepping_ir(grid_graph, 0, 1.0, fuse=False)
+        fused = run_delta_stepping_ir(grid_graph, 0, 1.0, fuse=True)
+        assert fused.extra["calls_executed"] < unfused.extra["calls_executed"]
+        assert fused.same_distances(unfused)
+
+    def test_fusion_report_attached(self, grid_graph):
+        r = run_delta_stepping_ir(grid_graph, 0, 1.0, fuse=True)
+        rep = r.extra["fusion_report"]
+        assert rep.calls_removed == 4
+
+    def test_call_mix_recorded(self, grid_graph):
+        r = run_delta_stepping_ir(grid_graph, 0, 1.0, fuse=False)
+        by_fn = r.extra["calls_by_fn"]
+        assert by_fn["vxm"] > 0
+        assert by_fn["apply"] > by_fn["vxm"]  # filters dominate call count
+
+    def test_unreachable_handled(self):
+        from repro.graphs.graph import Graph
+
+        g = Graph.from_edges([0], [1], n=4)
+        r = run_delta_stepping_ir(g, 0, 1.0)
+        assert r.num_reached == 2
+
+    def test_invalid_params(self, grid_graph):
+        with pytest.raises(ValueError):
+            run_delta_stepping_ir(grid_graph, 0, 0.0)
+        with pytest.raises(IndexError):
+            run_delta_stepping_ir(grid_graph, 9999, 1.0)
+
+    def test_ci_dataset_smoke(self):
+        g = datasets.load("ci-ws")
+        r = run_delta_stepping_ir(g, 0, 1.0, fuse=True)
+        assert r.same_distances(dijkstra(g, 0))

@@ -1,0 +1,184 @@
+"""Unit tests for the parallel runtime: partitioning, pool, task graph,
+simulator."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.parallel.partition import balanced_partition, chunk_by_cost, chunk_ranges
+from repro.parallel.pool import WorkerPool, get_pool, parallel_map
+from repro.parallel.simulate import SimulatedExecutor, simulate_makespan
+from repro.parallel.tasks import Task, TaskGraph, run_task_graph
+
+
+class TestChunkRanges:
+    def test_covers_exactly(self):
+        chunks = chunk_ranges(10, 3)
+        covered = [i for lo, hi in chunks for i in range(lo, hi)]
+        assert covered == list(range(10))
+
+    def test_even_sizes(self):
+        sizes = [hi - lo for lo, hi in chunk_ranges(100, 4)]
+        assert sizes == [25, 25, 25, 25]
+
+    def test_more_chunks_than_items(self):
+        chunks = chunk_ranges(3, 8)
+        assert len(chunks) == 3
+
+    def test_degenerate(self):
+        assert chunk_ranges(0, 4) == []
+        assert chunk_ranges(5, 0) == []
+
+
+class TestChunkByCost:
+    def test_balances_skewed_costs(self):
+        costs = np.array([100, 1, 1, 1, 1, 1, 1, 100])
+        chunks = chunk_by_cost(costs, 2)
+        covered = [i for lo, hi in chunks for i in range(lo, hi)]
+        assert covered == list(range(8))
+        loads = [costs[lo:hi].sum() for lo, hi in chunks]
+        assert max(loads) <= 0.8 * costs.sum()
+
+    def test_uniform_costs_behave_like_even_chunks(self):
+        chunks = chunk_by_cost(np.ones(12), 3)
+        assert len(chunks) == 3
+
+    def test_zero_costs(self):
+        chunks = chunk_by_cost(np.zeros(6), 2)
+        covered = [i for lo, hi in chunks for i in range(lo, hi)]
+        assert covered == list(range(6))
+
+
+class TestBalancedPartition:
+    def test_all_assigned_once(self):
+        costs = [5.0, 3.0, 2.0, 2.0]
+        bins = balanced_partition(costs, 2)
+        flat = sorted(i for b in bins for i in b)
+        assert flat == [0, 1, 2, 3]
+
+    def test_lpt_quality(self):
+        costs = [4.0, 3.0, 3.0, 2.0]
+        bins = balanced_partition(costs, 2)
+        loads = [sum(costs[i] for i in b) for b in bins]
+        assert max(loads) == 6.0  # optimal here
+
+    def test_zero_bins(self):
+        assert balanced_partition([1.0], 0) == []
+
+
+class TestWorkerPool:
+    def test_single_thread_inline(self):
+        pool = WorkerPool(1)
+        assert pool.run_batch([lambda: 1, lambda: 2]) == [1, 2]
+
+    def test_parallel_results_ordered(self):
+        pool = get_pool(2)
+        fns = [lambda k=k: k * k for k in range(8)]
+        assert pool.run_batch(fns) == [k * k for k in range(8)]
+
+    def test_actually_uses_worker_threads(self):
+        pool = get_pool(2)
+        names = pool.run_batch(
+            [lambda: threading.current_thread().name for _ in range(4)]
+        )
+        assert any("repro-worker" in n for n in names)
+
+    def test_map_chunks(self):
+        pool = get_pool(2)
+        out = pool.map_chunks(lambda lo, hi: hi - lo, [(0, 3), (3, 10)])
+        assert out == [3, 7]
+
+    def test_parallel_map_helper(self):
+        assert parallel_map(lambda lo, hi: lo, [(0, 1), (5, 6)], 2) == [0, 5]
+
+    def test_get_pool_caches(self):
+        assert get_pool(3) is get_pool(3)
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+
+    def test_exceptions_propagate(self):
+        pool = get_pool(2)
+
+        def boom():
+            raise RuntimeError("task failed")
+
+        with pytest.raises(RuntimeError, match="task failed"):
+            pool.run_batch([boom, lambda: 1])
+
+
+class TestTaskGraph:
+    def test_waves_respect_dependencies(self):
+        g = TaskGraph()
+        g.spawn("a", lambda: "a")
+        g.spawn("b", lambda: "b", after=["a"])
+        g.spawn("c", lambda: "c", after=["a"])
+        g.spawn("d", lambda: "d", after=["b", "c"])
+        waves = g.waves()
+        assert [sorted(t.name for t in w) for w in waves] == [["a"], ["b", "c"], ["d"]]
+
+    def test_run_collects_results(self):
+        g = TaskGraph()
+        g.spawn("x", lambda: 41)
+        g.spawn("y", lambda: 1, after=["x"])
+        results = run_task_graph(g, num_threads=2)
+        assert results == {"x": 41, "y": 1}
+
+    def test_duplicate_name_rejected(self):
+        g = TaskGraph()
+        g.spawn("a", lambda: 1)
+        with pytest.raises(ValueError):
+            g.spawn("a", lambda: 2)
+
+    def test_unknown_dependency_rejected(self):
+        g = TaskGraph()
+        with pytest.raises(ValueError):
+            g.spawn("b", lambda: 1, after=["ghost"])
+
+    def test_task_measures_duration(self):
+        t = Task("sleepy", lambda: time.sleep(0.01))
+        t.run()
+        assert t.measured >= 0.005
+
+
+class TestSimulator:
+    def test_single_thread_sums(self):
+        assert np.isclose(simulate_makespan([1.0, 2.0], 1, overhead=0.0), 3.0)
+
+    def test_two_threads_balance(self):
+        assert np.isclose(simulate_makespan([1.0, 1.0], 2, overhead=0.0), 1.0)
+
+    def test_imbalanced_task_dominates(self):
+        assert np.isclose(simulate_makespan([10.0, 1.0, 1.0], 4, overhead=0.0), 10.0)
+
+    def test_overhead_charged_per_task(self):
+        assert np.isclose(simulate_makespan([1.0], 1, overhead=0.5), 1.5)
+
+    def test_empty(self):
+        assert simulate_makespan([], 4) == 0.0
+
+    def test_executor_accumulates_speedup(self):
+        sim = SimulatedExecutor(threads=2, overhead=0.0)
+        sim.sequential(1.0)
+        sim.batch([2.0, 2.0])  # perfectly parallel
+        rep = sim.report
+        assert np.isclose(rep.serial_seconds, 5.0)
+        assert np.isclose(rep.simulated_seconds, 3.0)
+        assert np.isclose(rep.speedup, 5.0 / 3.0)
+
+    def test_coarse_matrix_tasks_cap_scaling(self):
+        """The Fig. 4 plateau: two coarse tasks can't use four threads."""
+        two = SimulatedExecutor(threads=2, overhead=0.0)
+        four = SimulatedExecutor(threads=4, overhead=0.0)
+        for sim in (two, four):
+            sim.batch([1.0, 1.0])  # A_L and A_H builds
+        assert two.report.simulated_seconds == four.report.simulated_seconds
+
+    def test_amdahl_effect(self):
+        sim = SimulatedExecutor(threads=16, overhead=0.0)
+        sim.sequential(1.0)
+        sim.batch([0.1] * 16)
+        assert sim.report.speedup < 16 / 6  # sequential part dominates

@@ -1,0 +1,137 @@
+"""Property-based equivalence: every implementation ≡ Dijkstra on random
+graphs, across Δ — the repo's strongest correctness statement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.graph import Graph
+from repro.sssp import METHODS, dijkstra
+from repro.sssp.validate import check_against_dijkstra, check_optimality_conditions
+
+
+@st.composite
+def random_graphs(draw):
+    """Random weighted digraphs up to 40 vertices."""
+    n = draw(st.integers(2, 40))
+    m = draw(st.integers(0, 160))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    w = rng.uniform(0.05, 2.0, size=m)
+    return Graph.from_edges(src, dst, w, n=n)
+
+
+@st.composite
+def graph_and_params(draw):
+    g = draw(random_graphs())
+    source = draw(st.integers(0, g.num_vertices - 1))
+    delta = draw(st.sampled_from([0.1, 0.3, 1.0, 2.5, 100.0]))
+    return g, source, delta
+
+
+class TestEquivalenceProperties:
+    @given(graph_and_params())
+    @settings(max_examples=25, deadline=None)
+    def test_fused_equals_dijkstra(self, gp):
+        g, src, delta = gp
+        r = METHODS["fused"](g, src, delta)
+        check_against_dijkstra(g, r)
+
+    @given(graph_and_params())
+    @settings(max_examples=15, deadline=None)
+    def test_graphblas_equals_dijkstra(self, gp):
+        g, src, delta = gp
+        r = METHODS["graphblas"](g, src, delta)
+        check_against_dijkstra(g, r)
+
+    @given(graph_and_params())
+    @settings(max_examples=15, deadline=None)
+    def test_meyer_sanders_equals_dijkstra(self, gp):
+        g, src, delta = gp
+        r = METHODS["meyer-sanders"](g, src, delta)
+        check_against_dijkstra(g, r)
+
+    @given(graph_and_params())
+    @settings(max_examples=10, deadline=None)
+    def test_capi_equals_dijkstra(self, gp):
+        g, src, delta = gp
+        # the Fig. 2 listing steps i by 1; cap bucket count for tiny deltas
+        if delta < 1.0:
+            delta = 1.0
+        r = METHODS["capi"](g, src, delta)
+        check_against_dijkstra(g, r)
+
+    @given(graph_and_params())
+    @settings(max_examples=12, deadline=None)
+    def test_parallel_equals_dijkstra(self, gp):
+        g, src, delta = gp
+        r = METHODS["parallel"](g, src, delta, num_threads=2, min_parallel_size=0)
+        check_against_dijkstra(g, r)
+
+    @given(graph_and_params())
+    @settings(max_examples=20, deadline=None)
+    def test_optimality_conditions_hold(self, gp):
+        g, src, delta = gp
+        r = METHODS["fused"](g, src, delta)
+        check_optimality_conditions(g, r)
+
+    @given(random_graphs(), st.integers(0, 3))
+    @settings(max_examples=15, deadline=None)
+    def test_delta_invariance(self, g, src_seed):
+        """Distances must not depend on Δ."""
+        src = src_seed % g.num_vertices
+        results = [METHODS["fused"](g, src, d) for d in (0.2, 1.0, 7.0)]
+        for r in results[1:]:
+            assert results[0].same_distances(r)
+
+    @given(random_graphs())
+    @settings(max_examples=15, deadline=None)
+    def test_distances_monotone_under_edge_addition(self, g):
+        """Adding an edge can only shorten distances."""
+        if g.num_vertices < 3:
+            return
+        before = METHODS["fused"](g, 0, 1.0).distances
+        src, dst, w = g.to_edges()
+        g2 = Graph.from_edges(
+            np.concatenate([src, [0]]),
+            np.concatenate([dst, [g.num_vertices - 1]]),
+            np.concatenate([w, [0.05]]),
+            n=g.num_vertices,
+        )
+        after = METHODS["fused"](g2, 0, 1.0).distances
+        assert np.all(after <= before + 1e-9)
+
+
+class TestValidateHelpers:
+    def test_check_against_dijkstra_detects_corruption(self, diamond_graph):
+        from repro.sssp.validate import ValidationError
+
+        r = METHODS["fused"](diamond_graph, 0, 1.0)
+        r.distances[2] += 1.0
+        with pytest.raises(ValidationError):
+            check_against_dijkstra(diamond_graph, r)
+
+    def test_optimality_detects_infeasible(self, diamond_graph):
+        from repro.sssp.validate import ValidationError
+
+        r = METHODS["fused"](diamond_graph, 0, 1.0)
+        r.distances[3] = 100.0
+        with pytest.raises(ValidationError):
+            check_optimality_conditions(diamond_graph, r)
+
+    def test_optimality_detects_too_small(self, diamond_graph):
+        from repro.sssp.validate import ValidationError
+
+        r = METHODS["fused"](diamond_graph, 0, 1.0)
+        r.distances[3] = 0.5  # not achievable by any incoming edge
+        with pytest.raises(ValidationError):
+            check_optimality_conditions(diamond_graph, r)
+
+    def test_networkx_crosscheck(self, random_weighted_graph):
+        from repro.sssp.validate import check_against_networkx
+
+        r = METHODS["fused"](random_weighted_graph, 0, 0.5)
+        check_against_networkx(random_weighted_graph, r)

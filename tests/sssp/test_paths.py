@@ -1,0 +1,83 @@
+"""Unit + property tests for shortest-path reconstruction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.graph import Graph
+from repro.sssp import delta_stepping, dijkstra
+from repro.sssp.paths import path_weight, predecessor_tree, reconstruct_path
+
+
+class TestPredecessorTree:
+    def test_diamond(self, diamond_graph):
+        r = delta_stepping(diamond_graph, 0, 1.0)
+        pred = predecessor_tree(diamond_graph, r)
+        assert pred.tolist() == [-1, 0, 1, 2]
+
+    def test_unreachable_minus_one(self):
+        g = Graph.from_edges([0], [1], n=3)
+        r = delta_stepping(g, 0, 1.0)
+        assert predecessor_tree(g, r)[2] == -1
+
+    def test_tie_break_smallest(self):
+        # two equal-length routes to 3: via 1 and via 2 -> picks 1
+        g = Graph.from_edges([0, 0, 1, 2], [1, 2, 3, 3], [1.0, 1.0, 1.0, 1.0], n=4)
+        r = delta_stepping(g, 0, 1.0)
+        assert predecessor_tree(g, r)[3] == 1
+
+    def test_matches_dijkstra_tree_distances(self, random_weighted_graph):
+        r = delta_stepping(random_weighted_graph, 0, 0.3)
+        pred = predecessor_tree(random_weighted_graph, r)
+        d = r.distances
+        for v in range(random_weighted_graph.num_vertices):
+            if pred[v] >= 0:
+                nbrs, wts = random_weighted_graph.neighbors(pred[v])
+                k = np.searchsorted(nbrs, v)
+                assert nbrs[k] == v
+                assert np.isclose(d[v], d[pred[v]] + wts[k])
+
+
+class TestReconstructPath:
+    def test_diamond_route(self, diamond_graph):
+        r = delta_stepping(diamond_graph, 0, 1.0)
+        path = reconstruct_path(diamond_graph, r, 3)
+        assert path == [0, 1, 2, 3]
+        assert np.isclose(path_weight(diamond_graph, path), r.distances[3])
+
+    def test_source_path(self, diamond_graph):
+        r = delta_stepping(diamond_graph, 0, 1.0)
+        assert reconstruct_path(diamond_graph, r, 0) == [0]
+
+    def test_unreachable_empty(self):
+        g = Graph.from_edges([0], [1], n=3)
+        r = delta_stepping(g, 0, 1.0)
+        assert reconstruct_path(g, r, 2) == []
+
+    def test_target_out_of_range(self, diamond_graph):
+        r = delta_stepping(diamond_graph, 0, 1.0)
+        with pytest.raises(IndexError):
+            reconstruct_path(diamond_graph, r, 99)
+
+    def test_path_weight_validates_edges(self, diamond_graph):
+        with pytest.raises(ValueError):
+            path_weight(diamond_graph, [0, 3])
+
+    @given(st.integers(0, 2**31 - 1), st.integers(2, 30))
+    @settings(max_examples=20, deadline=None)
+    def test_every_reached_target_reconstructs(self, seed, n):
+        rng = np.random.default_rng(seed)
+        m = 4 * n
+        g = Graph.from_edges(
+            rng.integers(0, n, m), rng.integers(0, n, m),
+            rng.uniform(0.1, 1.0, m), n=n,
+        )
+        r = delta_stepping(g, 0, 0.5)
+        for target in range(n):
+            path = reconstruct_path(g, r, target)
+            if np.isfinite(r.distances[target]):
+                assert path[0] == 0 and path[-1] == target
+                assert np.isclose(path_weight(g, path), r.distances[target])
+            else:
+                assert path == []

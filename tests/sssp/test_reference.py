@@ -1,0 +1,104 @@
+"""Unit tests for the Dijkstra and Bellman–Ford baselines."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.sssp.reference import NegativeWeightError, bellman_ford, dijkstra
+
+
+class TestDijkstra:
+    def test_diamond(self, diamond_graph):
+        r = dijkstra(diamond_graph, 0)
+        assert r.distances.tolist() == [0.0, 2.0, 5.0, 6.0]
+
+    def test_unreachable_is_inf(self):
+        g = Graph.from_edges([0], [1], n=3)
+        r = dijkstra(g, 0)
+        assert np.isinf(r.distances[2])
+        assert r.num_reached == 2
+
+    def test_source_distance_zero(self, random_weighted_graph):
+        r = dijkstra(random_weighted_graph, 7)
+        assert r.distances[7] == 0.0
+
+    def test_predecessors_form_shortest_tree(self, diamond_graph):
+        r = dijkstra(diamond_graph, 0, return_predecessors=True)
+        pred = r.extra["predecessors"]
+        assert pred[0] == -1
+        assert pred[1] == 0
+        assert pred[2] == 1  # via 0->1->2 (5) not 0->2 (7)
+        assert pred[3] == 2
+
+    def test_matches_networkx(self, random_weighted_graph):
+        import networkx as nx
+
+        g = random_weighted_graph
+        G = nx.DiGraph()
+        G.add_nodes_from(range(g.num_vertices))
+        s, d, w = g.to_edges()
+        G.add_weighted_edges_from(zip(s.tolist(), d.tolist(), w.tolist()))
+        expected = nx.single_source_dijkstra_path_length(G, 0)
+        r = dijkstra(g, 0)
+        for v, dist in expected.items():
+            assert np.isclose(r.distances[v], dist)
+        assert r.num_reached == len(expected)
+
+    def test_negative_weight_rejected(self):
+        g = Graph.from_edges([0], [1], [1.0], n=2)
+        g.weights[0] = -2.0
+        with pytest.raises(NegativeWeightError):
+            dijkstra(g, 0)
+
+    def test_bad_source(self, diamond_graph):
+        with pytest.raises(IndexError):
+            dijkstra(diamond_graph, 4)
+
+    def test_counters_populated(self, diamond_graph):
+        r = dijkstra(diamond_graph, 0)
+        assert r.relaxations == 4
+        assert r.updates >= 3
+
+
+class TestBellmanFord:
+    def test_diamond(self, diamond_graph):
+        r = bellman_ford(diamond_graph, 0)
+        assert r.distances.tolist() == [0.0, 2.0, 5.0, 6.0]
+
+    def test_matches_dijkstra(self, random_weighted_graph):
+        a = dijkstra(random_weighted_graph, 0)
+        b = bellman_ford(random_weighted_graph, 0)
+        assert a.same_distances(b)
+
+    def test_round_count_bounded_by_longest_path(self):
+        from repro.graphs.generators import path_graph
+
+        g = path_graph(20)
+        r = bellman_ford(g, 0)
+        assert r.distances[19] == 19.0
+        assert r.phases <= 20
+
+    def test_handles_negative_edges_without_cycle(self):
+        g = Graph.from_edges([0, 1, 0], [1, 2, 2], [5.0, 1.0, 2.0], n=3)
+        g.weights[0] = -1.0  # 0->1 costs -1
+        r = bellman_ford(g, 0)
+        assert r.distances.tolist() == [0.0, -1.0, 0.0]
+
+    def test_detects_negative_cycle(self):
+        g = Graph.from_edges([0, 1, 2], [1, 2, 1], [1.0, 1.0, 1.0], n=3)
+        g.weights[1] = -3.0
+        g.weights[2] = 1.0
+        with pytest.raises(NegativeWeightError):
+            bellman_ford(g, 0)
+
+    def test_max_rounds_caps_iterations(self):
+        from repro.graphs.generators import path_graph
+
+        g = path_graph(30)
+        r = bellman_ford(g, 0, max_rounds=3)
+        assert r.phases == 3
+        assert np.isinf(r.distances[20])
+
+    def test_bad_source(self, diamond_graph):
+        with pytest.raises(IndexError):
+            bellman_ford(diamond_graph, -1)

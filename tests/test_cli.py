@@ -1,0 +1,62 @@
+"""Unit tests for the CLI (argument parsing + command handlers)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig3_defaults(self):
+        args = build_parser().parse_args(["fig3"])
+        assert args.suite == "ci"
+        assert args.repeats == 3
+
+    def test_fig4_flags(self):
+        args = build_parser().parse_args(["fig4", "--real", "--threads", "2", "4", "8"])
+        assert args.real
+        assert args.threads == [2, 4, 8]
+
+    def test_run_arguments(self):
+        args = build_parser().parse_args(["run", "ci-ws", "--method", "capi", "--delta", "2.0"])
+        assert args.graph == "ci-ws"
+        assert args.method == "capi"
+        assert args.delta == 2.0
+
+
+class TestCommands:
+    def test_run_command(self, capsys):
+        assert main(["run", "ci-ws", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "reached" in out
+        assert "verified" in out
+
+    def test_run_command_weighted(self, capsys):
+        assert main(["run", "ci-ws", "--weights", "uniform", "--method", "fused"]) == 0
+        assert "method" in capsys.readouterr().out
+
+    def test_suite_command(self, capsys):
+        assert main(["suite", "--suite", "ci"]) == 0
+        out = capsys.readouterr().out
+        assert "ci-ws" in out
+        assert "|V|" in out
+
+    def test_translate_command(self, capsys):
+        assert main(["translate"]) == 0
+        out = capsys.readouterr().out
+        assert "fused_filter" in out
+        assert "unfused" in out
+
+    def test_profile_command_tiny(self, capsys, monkeypatch):
+        # shrink the suite to one graph to keep the test fast
+        import repro.bench.workloads as wl
+
+        monkeypatch.setattr(
+            "repro.bench.registry.suite_workloads",
+            lambda suite=None, **kw: [wl.workload_for("ci-ws")],
+        )
+        assert main(["profile", "--suite", "ci"]) == 0
+        assert "35-40%" in capsys.readouterr().out

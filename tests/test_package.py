@@ -1,0 +1,32 @@
+"""Package-level integration: lazy imports, version, public API surface."""
+
+import repro
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_lazy_subpackages(self):
+        assert repro.graphblas.Vector is not None
+        assert repro.sssp.delta_stepping is not None
+        assert repro.datasets.load is not None
+        assert repro.ir.delta_stepping_program is not None
+        assert repro.algorithms.bfs_levels is not None
+        assert repro.bench.run_experiment is not None
+        assert repro.parallel.WorkerPool is not None
+
+    def test_unknown_attribute(self):
+        try:
+            repro.nonexistent
+        except AttributeError as exc:
+            assert "nonexistent" in str(exc)
+        else:  # pragma: no cover
+            raise AssertionError("expected AttributeError")
+
+    def test_quickstart_docstring_flow(self):
+        """The README/module-docstring quickstart must actually run."""
+        g = repro.datasets.load("roadgrid-small")
+        result = repro.sssp.delta_stepping(g, source=0, delta=1.0)
+        assert result.num_reached > 1
+        assert result.distances[0] == 0.0
