@@ -10,6 +10,11 @@ or the dependency-free equivalent (what CI in this repo uses)::
     python -c "import site, pathlib; pathlib.Path(site.getsitepackages()[0], 'repro-editable.pth').write_text(str(pathlib.Path('src').resolve()) + '\\n')"
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-sssp",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    entry_points={"console_scripts": ["repro-sssp=repro.cli:main"]},
+)

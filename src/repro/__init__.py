@@ -7,6 +7,9 @@ Top-level surface:
 - :mod:`repro.ir` — the paper's vertex/edge→linear-algebra translation layer.
 - :mod:`repro.graphs` — graph container, generators, datasets, IO.
 - :mod:`repro.sssp` — the four delta-stepping implementations + baselines.
+- :mod:`repro.service` — the distance-query service layer: multi-source
+  batch SSSP engine, LRU distance cache, ALT-style landmark bounds, and
+  the coalescing query server (``repro-sssp query`` / ``serve-bench``).
 - :mod:`repro.parallel` — OpenMP-task-like runtime (threads + simulator).
 - :mod:`repro.algorithms` — further algorithms built with the methodology.
 - :mod:`repro.bench` — harness regenerating every figure in the paper.
@@ -28,6 +31,7 @@ __all__ = [
     "graphs",
     "datasets",
     "sssp",
+    "service",
     "ir",
     "parallel",
     "algorithms",
@@ -39,7 +43,7 @@ def __getattr__(name):
     """Lazy subpackage loading so ``import repro`` stays light."""
     import importlib
 
-    if name in {"graphblas", "graphs", "sssp", "ir", "parallel", "algorithms", "bench"}:
+    if name in {"graphblas", "graphs", "sssp", "service", "ir", "parallel", "algorithms", "bench"}:
         return importlib.import_module(f".{name}", __name__)
     if name == "datasets":
         return importlib.import_module(".graphs.datasets", __name__)

@@ -18,6 +18,7 @@ from .figures import (
     render_sec6c,
     sec6c_profile,
 )
+from .service_bench import render_service_throughput, service_throughput_series
 from .workloads import suite_workloads
 
 __all__ = ["Experiment", "EXPERIMENTS", "run_experiment"]
@@ -59,6 +60,13 @@ EXPERIMENTS: dict[str, Experiment] = {
         claim="A_L/A_H matrix filtering consumes 35-40% of sequential runtime",
         run=lambda suite=None, **kw: sec6c_profile(suite_workloads(suite), **kw),
         render=render_sec6c,
+    ),
+    "SERVE": Experiment(
+        id="SERVE",
+        paper_artifact="Extension (service layer)",
+        claim="Batched multi-source engine serves >=3x the query throughput of a per-query fused loop",
+        run=lambda suite=None, **kw: service_throughput_series(suite_workloads(suite), **kw),
+        render=render_service_throughput,
     ),
 }
 

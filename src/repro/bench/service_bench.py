@@ -1,0 +1,111 @@
+"""The SERVE experiment: batched query throughput vs a naive query loop.
+
+For each suite graph, a fixed workload of one-to-many queries (distinct
+sources, deterministic seed) is answered two ways:
+
+- **loop** — the pre-service architecture: one
+  :func:`repro.sssp.fused.fused_delta_stepping` run per query;
+- **service** — a cold :class:`repro.service.QueryService` that coalesces
+  the whole workload into batch-engine solves
+  (:func:`repro.service.batch.batch_delta_stepping`).
+
+Both sides answer exactly the same queries; the batch answers are
+verified bit-identical to per-source Dijkstra before timing (the batch
+engine replays the same ``d[u] + w`` additions along the same shortest
+paths, so on the unit-weight suite equality is exact, not approximate).
+The headline is the suite-level throughput ratio.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..service import Query, QueryService
+from ..sssp.fused import fused_delta_stepping
+from ..sssp.reference import dijkstra
+from .reporting import format_table, geometric_mean
+from .timing import time_callable
+from .workloads import Workload, suite_workloads
+
+__all__ = ["service_throughput_series", "render_service_throughput"]
+
+
+def _workload_sources(wl: Workload, num_queries: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    n = wl.graph.num_vertices
+    return rng.choice(n, size=min(num_queries, n), replace=False)
+
+
+def service_throughput_series(
+    workloads: list[Workload] | None = None,
+    num_queries: int = 64,
+    repeats: int = 3,
+    seed: int = 7,
+    verify: bool = True,
+) -> list[dict]:
+    """Per-graph loop-vs-service timings for the query workload."""
+    workloads = workloads if workloads is not None else suite_workloads()
+    rows = []
+    for wl in workloads:
+        sources = _workload_sources(wl, num_queries, seed)
+
+        if verify:
+            svc = QueryService(wl.graph, delta=wl.delta)
+            for s in sources:
+                svc.submit(Query(source=int(s)))
+            responses = svc.drain()
+            for s, resp in zip(sources, responses):
+                oracle = dijkstra(wl.graph, int(s)).distances
+                assert np.array_equal(resp.distances, oracle), (
+                    f"{wl.name}: batch source {s} differs from Dijkstra"
+                )
+
+        def run_loop():
+            for s in sources:
+                fused_delta_stepping(wl.graph, int(s), wl.delta)
+
+        def run_service():
+            svc = QueryService(wl.graph, delta=wl.delta)  # cold cache each run
+            for s in sources:
+                svc.submit(Query(source=int(s)))
+            svc.drain()
+
+        loop = time_callable(run_loop, repeats=repeats)
+        service = time_callable(run_service, repeats=repeats)
+        q = len(sources)
+        rows.append(
+            {
+                "graph": wl.name,
+                "nodes": wl.num_vertices,
+                "queries": q,
+                "loop_ms": loop.best_ms,
+                "service_ms": service.best_ms,
+                "loop_qps": q / loop.best,
+                "service_qps": q / service.best,
+                "speedup": loop.best / service.best,
+            }
+        )
+    return rows
+
+
+def render_service_throughput(rows: list[dict]) -> str:
+    """The SERVE panel: per-graph table + suite-level throughput headline."""
+    table = format_table(
+        rows,
+        columns=[
+            "graph", "nodes", "queries",
+            "loop_ms", "service_ms", "loop_qps", "service_qps", "speedup",
+        ],
+    )
+    total_q = sum(r["queries"] for r in rows)
+    total_loop = sum(r["loop_ms"] for r in rows) / 1e3
+    total_service = sum(r["service_ms"] for r in rows) / 1e3
+    gmean = geometric_mean(r["speedup"] for r in rows)
+    return (
+        "SERVE — Batched query service vs per-query fused loop "
+        f"({total_q} queries, verified bit-identical to Dijkstra)\n\n"
+        f"{table}\n\n"
+        f"Workload throughput: {total_q / total_loop:.0f} qps loop -> "
+        f"{total_q / total_service:.0f} qps service "
+        f"({total_loop / total_service:.2f}x; per-graph geometric mean {gmean:.2f}x)\n"
+    )

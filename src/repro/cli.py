@@ -3,14 +3,16 @@
 Commands map one-to-one onto the experiment registry plus a few
 utilities:
 
-========  ====================================================================
-fig3      regenerate Figure 3 (unfused vs fused sequential runtime)
-fig4      regenerate Figure 4 (task-parallel speedup; simulated by default)
-profile   regenerate the §VI.C operation-share breakdown
-run       one SSSP run with any implementation, printing the summary
-suite     list the dataset suite with structural statistics
-translate show the IR translation pipeline + fusion report
-========  ====================================================================
+==========  ==================================================================
+fig3        regenerate Figure 3 (unfused vs fused sequential runtime)
+fig4        regenerate Figure 4 (task-parallel speedup; simulated by default)
+profile     regenerate the §VI.C operation-share breakdown
+run         one SSSP run with any implementation, printing the summary
+query       answer distance queries through the service layer (cache + batch)
+serve-bench regenerate the SERVE experiment (batched vs looped throughput)
+suite       list the dataset suite with structural statistics
+translate   show the IR translation pipeline + fusion report
+==========  ==================================================================
 """
 
 from __future__ import annotations
@@ -45,6 +47,19 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--weights", default="unit")
     sp.add_argument("--verify", action="store_true", help="validate against Dijkstra")
 
+    sp = sub.add_parser("query", help="answer distance queries via the service layer")
+    sp.add_argument("graph", help="dataset name (see `suite`)")
+    sp.add_argument("--source", type=int, default=None, help="default: largest-component vertex")
+    sp.add_argument("--target", type=int, default=None, help="point query target (default: distance summary)")
+    sp.add_argument("--weights", default="unit")
+    sp.add_argument("--repeat", type=int, default=2, help="ask the same query N times (shows the cache working)")
+    sp.add_argument("--landmarks", type=int, default=0, help="build an ALT index with N landmarks and print bounds")
+
+    sp = sub.add_parser("serve-bench", help="run the SERVE throughput experiment")
+    sp.add_argument("--suite", default="ci", choices=["ci", "paper"], help="graph suite (default: ci)")
+    sp.add_argument("--queries", type=int, default=64, help="queries per graph (default: 64)")
+    sp.add_argument("--repeats", type=int, default=3)
+
     sp = sub.add_parser("suite", help="list dataset suites with statistics")
     sp.add_argument("--suite", default="ci", choices=["ci", "paper"])
 
@@ -78,6 +93,46 @@ def _cmd_run(args) -> int:
     if args.verify:
         check_against_dijkstra(wl.graph, result)
         print("verified        OK (matches Dijkstra)")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    from .bench.workloads import workload_for
+    from .service import LandmarkIndex, QueryService
+
+    wl = workload_for(args.graph, weights=args.weights)
+    source = args.source if args.source is not None else wl.source
+    landmarks = LandmarkIndex.build(wl.graph, args.landmarks) if args.landmarks else None
+    svc = QueryService(wl.graph, weight_mode=args.weights, landmarks=landmarks)
+    for _ in range(max(args.repeat, 1)):
+        resp = svc.query(source, args.target)
+        origin = "cache" if resp.from_cache else "batch solve"
+        if args.target is not None:
+            print(f"d({source} -> {args.target}) = {resp.distance:g}   "
+                  f"[{origin}, {resp.latency_ms:.2f} ms]")
+        else:
+            import numpy as np
+
+            reached = int(np.isfinite(resp.distances).sum())
+            finite = resp.distances[np.isfinite(resp.distances)]
+            print(f"d({source} -> *): reached {reached}/{wl.graph.num_vertices}, "
+                  f"max {finite.max():g}, mean {finite.mean():.3f}   "
+                  f"[{origin}, {resp.latency_ms:.2f} ms]")
+    if landmarks is not None and args.target is not None:
+        est = landmarks.estimate(source, args.target)
+        print(f"landmark bounds: [{est.lower:g}, {est.upper:g}] "
+              f"({landmarks.num_landmarks} landmarks)")
+    stats = svc.stats()
+    print(f"service: {stats.queries_served} served, "
+          f"cache hit rate {stats.cache.hit_rate:.0%}, "
+          f"p50 {stats.latency_p50_ms:.2f} ms")
+    return 0
+
+
+def _cmd_serve_bench(args) -> int:
+    from .bench.registry import run_experiment
+
+    print(run_experiment("SERVE", suite=args.suite, num_queries=args.queries, repeats=args.repeats))
     return 0
 
 
@@ -126,6 +181,8 @@ def main(argv: list[str] | None = None) -> int:
         "fig4": _cmd_fig,
         "profile": _cmd_fig,
         "run": _cmd_run,
+        "query": _cmd_query,
+        "serve-bench": _cmd_serve_bench,
         "suite": _cmd_suite,
         "translate": _cmd_translate,
     }[args.command]

@@ -73,6 +73,7 @@ from .monoid import (
 )
 from .operations import (
     apply,
+    assign_scalar_matrix,
     assign_scalar_vector,
     assign_vector,
     ewise_add,
@@ -162,6 +163,7 @@ __all__ = [
     "reduce_matrix_to_scalar",
     "extract_subvector",
     "extract_submatrix",
+    "assign_scalar_matrix",
     "assign_scalar_vector",
     "assign_vector",
     "transpose",

@@ -18,7 +18,7 @@ extension algorithms need — which is the full working set of the C API 1.x):
 ``mxm``                   matrix-matrix over a semiring (masked, chunked)
 ``reduce_*``              monoid reductions (to vector / to scalar)
 ``extract_*``             subvector / submatrix extraction
-``assign_*``              scalar / vector assign
+``assign_*``              scalar / vector / matrix-scalar assign
 ``transpose``             explicit transpose with write pipeline
 ``kronecker``             Kronecker product over a binary op
 ========================  ====================================================
@@ -31,7 +31,7 @@ import numpy as np
 from .binaryop import BinaryOp
 from .descriptor import NULL_DESC, Descriptor
 from .info import DimensionMismatch, DomainMismatch, InvalidIndex, InvalidValue
-from .mask import effective_mask_keys, finalize_write
+from .mask import accum_merge, effective_mask_keys, finalize_write, masked_write
 from .matrix import Matrix
 from .monoid import Monoid
 from .semiring import Semiring
@@ -62,6 +62,7 @@ __all__ = [
     "extract_subvector",
     "extract_submatrix",
     "assign_scalar_vector",
+    "assign_scalar_matrix",
     "assign_vector",
     "transpose",
     "kronecker",
@@ -311,8 +312,10 @@ def _mxm_kernel(semiring: Semiring, A: Matrix, B: Matrix, mask_keys, complement:
             out_cols = B._col_indices[flat]
             keys = out_rows * ncols_b + out_cols
             mults = semiring.multiply(np.repeat(a_vals[sl], lengths), B._values[flat])
-            if mask_keys is not None and not complement:
+            if mask_keys is not None:
                 keep = membership(mask_keys, keys)
+                if complement:
+                    keep = ~keep
                 keys = keys[keep]
                 mults = mults[keep]
             if len(keys):
@@ -328,9 +331,11 @@ def mxm(out, semiring: Semiring, A: Matrix, B: Matrix, mask=None, accum=None, de
     """``GrB_mxm``: ``out = A ⊕.⊗ B`` with optional structural mask push-down.
 
     The masked form is the k-truss / triangle-counting workhorse
-    (``S = AᵀA ∘ A`` in §II.C): with a non-complemented mask the kernel
-    filters candidate products per chunk *before* reduction, the standard
-    masked-mxm optimization.
+    (``S = AᵀA ∘ A`` in §II.C): with a mask the kernel filters candidate
+    products per chunk *before* reduction — for a regular mask keeping only
+    in-mask keys, for a complemented mask dropping them — the standard
+    masked-mxm optimization.  The batch SSSP engine leans on this: its
+    frontier-matrix relaxation wave is one masked ``mxm`` per phase.
     """
     desc = desc or NULL_DESC
     A = _resolve_input(A, desc, 0)
@@ -480,6 +485,53 @@ def assign_vector(w: Vector, u: Vector, indices=None, mask=None, accum=None, des
     order = np.argsort(t_keys_unsorted, kind="stable")
     finalize_write(w, t_keys_unsorted[order], u.values[order], mask, accum, desc)
     return w
+
+
+def assign_scalar_matrix(C: Matrix, value, rows=None, cols=None, mask=None, accum=None, desc: Descriptor | None = None):
+    """``GrB_Matrix_assign_Scalar``: broadcast one scalar over ``rows × cols``.
+
+    The assigned pattern is the cross product of the two index lists
+    (``None`` means ALL, per the spec).  Unlike the whole-output
+    operations, assign only *touches the region*: entries of *C* outside
+    ``rows × cols`` always survive, while the accumulate→mask→replace
+    pipeline runs on the region's entries alone.  The batch SSSP engine
+    seeds its K×n tentative-distance matrix with this — one
+    ``t[k, s_k] = 0`` per source row.
+    """
+    desc = desc or NULL_DESC
+    if mask is not None:
+        C._check_same_shape(mask, "mask")
+    ridx = np.unique(_resolve_index_list(rows, C.nrows))
+    cidx = np.unique(_resolve_index_list(cols, C.ncols))
+    t_keys = (
+        np.repeat(ridx, len(cidx)) * np.int64(max(C.ncols, 1))
+        + np.tile(cidx, len(ridx))
+    )
+    t_vals = np.full(len(t_keys), value, dtype=C.dtype.np_dtype)
+    c_keys = C._keys()
+    c_vals = C.values
+    in_region = membership(t_keys, c_keys)
+    z_keys, z_vals = accum_merge(
+        c_keys[in_region], c_vals[in_region], t_keys, t_vals, accum, C.dtype
+    )
+    mask_keys = (
+        effective_mask_keys(mask, desc.mask_structure) if mask is not None else None
+    )
+    new_keys, new_vals = masked_write(
+        c_keys[in_region],
+        c_vals[in_region],
+        z_keys,
+        z_vals,
+        mask_keys,
+        desc.mask_complement,
+        desc.replace,
+        C.dtype,
+    )
+    merged_keys = np.concatenate([c_keys[~in_region], new_keys])
+    merged_vals = np.concatenate([c_vals[~in_region], C.dtype.cast_array(new_vals)])
+    order = np.argsort(merged_keys, kind="stable")
+    C._set_keys(merged_keys[order], merged_vals[order])
+    return C
 
 
 # ---------------------------------------------------------------------------

@@ -34,16 +34,24 @@ class WorkerPool:
         if num_threads < 1:
             raise ValueError("num_threads must be >= 1")
         self.num_threads = num_threads
+        self._shutdown_lock = threading.Lock()
+        self._closed = False
         self._executor = (
             ThreadPoolExecutor(max_workers=num_threads, thread_name_prefix="repro-worker")
             if num_threads > 1
             else None
         )
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def run_batch(self, fns: Sequence[Callable[[], object]]) -> list[object]:
         """Execute a batch of zero-argument tasks; returns their results in
         submission order.  Blocks until all complete (a task barrier —
         ``#pragma omp taskwait``)."""
+        if self._closed:
+            raise RuntimeError("WorkerPool is shut down")
         if self._executor is None or len(fns) <= 1:
             return [fn() for fn in fns]
         futures = [self._executor.submit(fn) for fn in fns]
@@ -55,9 +63,16 @@ class WorkerPool:
         return self.run_batch([_bind(fn, lo, hi) for lo, hi in chunks])
 
     def shutdown(self) -> None:
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        """Tear down the executor.  Idempotent and thread-safe: the pool
+        is shut down both explicitly (tests, embedders) and via ``atexit``,
+        and only the first caller touches the executor."""
+        with self._shutdown_lock:
+            if self._closed:
+                return
+            self._closed = True
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"WorkerPool<threads={self.num_threads}>"
@@ -68,10 +83,15 @@ def _bind(fn, lo, hi):
 
 
 def get_pool(num_threads: int) -> WorkerPool:
-    """Fetch (or lazily create) the persistent pool for *num_threads*."""
+    """Fetch (or lazily create) the persistent pool for *num_threads*.
+
+    A pool that was shut down (directly or via
+    :func:`shutdown_all_pools`) is replaced with a fresh one, so callers
+    after an explicit teardown keep working.
+    """
     with _POOLS_LOCK:
         pool = _POOLS.get(num_threads)
-        if pool is None:
+        if pool is None or pool.closed:
             pool = WorkerPool(num_threads)
             _POOLS[num_threads] = pool
         return pool
@@ -83,11 +103,18 @@ def parallel_map(fn: Callable, chunks: Sequence[tuple[int, int]], num_threads: i
 
 
 def shutdown_all_pools() -> None:
-    """Tear down every cached pool (registered at interpreter exit)."""
+    """Tear down every cached pool (registered at interpreter exit).
+
+    Idempotent: safe to call explicitly from tests *and* again via the
+    ``atexit`` hook.  The registry is detached under the lock first, so a
+    concurrent :func:`get_pool` either sees the old pool before shutdown
+    or creates a fresh one — and per-pool ``shutdown`` guards itself.
+    """
     with _POOLS_LOCK:
-        for pool in _POOLS.values():
-            pool.shutdown()
+        pools = list(_POOLS.values())
         _POOLS.clear()
+    for pool in pools:
+        pool.shutdown()
 
 
 atexit.register(shutdown_all_pools)

@@ -1,0 +1,343 @@
+"""Multi-source batched delta-stepping: K searches per relaxation wave.
+
+The paper expresses a relaxation wave as ``tReq = A_Lᵀ (min.+) (t ∘ tBi)``
+— a ``vxm`` over one frontier *vector*.  Stacking K frontiers as the rows
+of a K×n matrix lifts the same wave to one ``mxm``: every phase relaxes
+the light (or heavy) edges of **all K searches simultaneously**, so the
+per-phase fixed costs (bucket filtering, candidate grouping, the Python
+dispatch itself) are paid once per wave instead of once per source.  That
+amortization is where the batch throughput win comes from — the same
+bucket-fusion observation as Dong et al. 2021 ("Efficient Stepping
+Algorithms and Implementations for Parallel Shortest Paths").
+
+Two engines, mirroring the repo's single-source pair:
+
+- ``method="fused"`` (default) — the throughput engine.  State is one
+  flattened dense array over the K×n key space (``key = k·n + v``); each
+  wave expands CSR rows for every (row, frontier-vertex) pair, offsets
+  targets into the owning source's row, and **scatter-mins** the
+  candidates into a reusable dense request buffer (``np.minimum.at`` —
+  an indexed ufunc loop, linear in candidates, no per-wave sort).  The
+  single-source fused kernel pays a sort per wave to group candidates;
+  the batch engine replaces it with O(candidates) scatter against the
+  dense key space that batching makes affordable.
+- ``method="graphblas"`` — the linear-algebraic form, written call-by-call
+  with :mod:`repro.graphblas.operations` matrix kernels (``mxm`` with the
+  ``(min, +)`` semiring, masked ``apply``, ``ewise_add``).  Slower, but
+  it *is* the paper's formulation lifted to matrices, and the tests pin
+  both engines to per-source Dijkstra.
+
+Bucket synchronization: all K sources share the global bucket index
+``i`` (bucket = ``[iΔ, (i+1)Δ)``).  Relaxations never cross rows, so each
+row's bucket sequence is identical to its own single-source run; sources
+with nothing in bucket ``i`` simply contribute no frontier entries and
+wait.  Distances are therefore *exactly* those of K independent runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..sssp.delta import choose_delta
+from ..sssp.fused import split_csr_light_heavy
+from ..sssp.result import INF, SSSPResult
+
+__all__ = [
+    "BatchSSSPResult",
+    "batch_delta_stepping",
+    "batch_fused_delta_stepping",
+    "batch_graphblas_delta_stepping",
+    "BATCH_METHODS",
+]
+
+#: flattened K·n state-size guard — past this, chunk the sources instead
+#: (the service planner does; see :mod:`repro.service.planner`)
+MAX_STATE_ENTRIES = 1 << 27
+
+
+@dataclass
+class BatchSSSPResult:
+    """Distances from K sources plus aggregate work counters.
+
+    ``distances[k, v]`` is the shortest distance from ``sources[k]`` to
+    ``v`` (``inf`` when unreachable).  Counters aggregate over the whole
+    batch; phases count shared waves, not per-source waves — that gap is
+    the batching win.
+    """
+
+    distances: np.ndarray
+    sources: np.ndarray
+    delta: float
+    method: str
+    buckets_processed: int = 0
+    phases: int = 0
+    relaxations: int = 0
+    updates: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def num_sources(self) -> int:
+        return len(self.sources)
+
+    @property
+    def n(self) -> int:
+        return self.distances.shape[1]
+
+    def result_for(self, k: int) -> SSSPResult:
+        """Row *k* repackaged as a single-source :class:`SSSPResult`."""
+        if not 0 <= k < self.num_sources:
+            raise IndexError(f"batch row {k} out of range [0, {self.num_sources})")
+        return SSSPResult(
+            distances=self.distances[k].copy(),
+            source=int(self.sources[k]),
+            delta=self.delta,
+            method=self.method,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BatchSSSPResult<{self.method}: K={self.num_sources}, n={self.n}, "
+            f"phases={self.phases}>"
+        )
+
+
+def _check_sources(graph: Graph, sources) -> np.ndarray:
+    src = np.asarray(sources, dtype=np.int64).reshape(-1)
+    if len(src) == 0:
+        raise ValueError("batch needs at least one source")
+    n = graph.num_vertices
+    if src.min() < 0 or src.max() >= n:
+        raise IndexError(f"source out of range [0, {n})")
+    return src
+
+
+def batch_fused_delta_stepping(graph: Graph, sources, delta: float = 1.0) -> BatchSSSPResult:
+    """Fused batch engine: scatter-min relaxation waves on the K·n key space.
+
+    All state lives in one flat ``float64`` array of length K·n indexed
+    by ``key = k·n + v``; relaxation targets stay inside the owning row
+    (``k·n + neighbor``), so one ``np.minimum.at`` resolves the requests
+    of all K searches at once.  The request buffer is allocated once and
+    only its touched keys are reset after each wave, keeping every wave
+    linear in its candidate count.
+    """
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    src = _check_sources(graph, sources)
+    K, n = len(src), graph.num_vertices
+    if K * n > MAX_STATE_ENTRIES:
+        raise ValueError(
+            f"batch state K*n = {K * n} exceeds {MAX_STATE_ENTRIES}; "
+            "chunk the sources (the service planner does this)"
+        )
+
+    (ALp, ALi, ALw), (AHp, AHi, AHw) = split_csr_light_heavy(graph, delta)
+    # K·n ≤ MAX_STATE_ENTRIES < 2^31, so int32 keys are safe and halve the
+    # index traffic of the expansion (the hot path's memory bound)
+    ALi32, AHi32 = ALi.astype(np.int32), AHi.astype(np.int32)
+
+    t = np.full(K * n, INF, dtype=np.float64)
+    t[np.arange(K, dtype=np.int64) * n + src] = 0.0
+    req = np.full(K * n, INF, dtype=np.float64)  # reusable request buffer
+    in_bucket = np.zeros(K * n, dtype=bool)
+    settled_set = np.zeros(K * n, dtype=bool)
+    # shared 0..total ramp, grown on demand (a wave's total can reach K·E)
+    iota = [np.arange(max(len(ALi), len(AHi), 1), dtype=np.int32)]
+    counters = {"buckets": 0, "phases": 0, "relaxations": 0, "updates": 0}
+
+    def relax(indptr, indices, weights, frontier, lo, hi, track_bucket):
+        verts = frontier % n
+        base = (frontier - verts).astype(np.int32)  # k·n offset of each entry's row
+        starts = indptr[verts].astype(np.int32)
+        lengths = (indptr[verts + 1] - indptr[verts]).astype(np.int32)
+        total = int(lengths.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        if total >= 2**31:  # pragma: no cover - int32 expansion guard
+            raise ValueError("relaxation wave too large; reduce the batch size")
+        if total > len(iota[0]):
+            iota[0] = np.arange(total, dtype=np.int32)
+        offsets = np.repeat(np.cumsum(lengths, dtype=np.int32) - lengths, lengths)
+        flat = iota[0][:total] - offsets + np.repeat(starts, lengths)
+        targets = np.repeat(base, lengths) + indices[flat]
+        dists = np.repeat(t[frontier], lengths) + weights[flat]
+        counters["relaxations"] += total
+        # tReq = A' (min.+) frontier, as a scatter-min into the dense
+        # key space (no sort: batching makes the dense buffer pay rent)
+        np.minimum.at(req, targets, dists)
+        if total * 8 < K * n:
+            # thin wave: keep the phase linear in its candidates — a sort
+            # of `total` keys is cheaper than scanning the full state
+            cand = np.unique(targets)
+            imp = req[cand] < t[cand]
+            uts = cand[imp]
+        else:
+            uts = np.nonzero(req < t)[0]
+        ubest = req[uts]
+        req[targets] = INF  # reset only the touched keys
+        counters["updates"] += len(uts)
+        t[uts] = ubest
+        if track_bucket:
+            reenter = (ubest >= lo) & (ubest < hi)
+            return uts[reenter]
+        return uts
+
+    i = 0
+    while True:
+        finite = np.isfinite(t)
+        remaining = finite & (t >= i * delta)
+        if not remaining.any():
+            break
+        i = max(i, int(t[remaining].min() // delta))
+        lo, hi = i * delta, (i + 1) * delta
+        counters["buckets"] += 1
+        np.logical_and(t >= lo, t < hi, out=in_bucket)
+        frontier = np.nonzero(in_bucket)[0]
+        settled_set[:] = False
+        while len(frontier):
+            counters["phases"] += 1
+            settled_set[frontier] = True
+            frontier = relax(ALp, ALi32, ALw, frontier, lo, hi, track_bucket=True)
+        settled = np.nonzero(settled_set)[0]
+        if len(settled):
+            counters["phases"] += 1
+            relax(AHp, AHi32, AHw, settled, lo, hi, track_bucket=False)
+        i += 1
+
+    return BatchSSSPResult(
+        distances=t.reshape(K, n),
+        sources=src,
+        delta=delta,
+        method="batch-fused",
+        buckets_processed=counters["buckets"],
+        phases=counters["phases"],
+        relaxations=counters["relaxations"],
+        updates=counters["updates"],
+    )
+
+
+def batch_graphblas_delta_stepping(graph: Graph, sources, delta: float = 1.0) -> BatchSSSPResult:
+    """Linear-algebraic batch engine: the Fig. 2 listing with matrix frontiers.
+
+    Every vector of the single-source listing becomes a K×n matrix and
+    every ``vxm`` becomes an ``mxm``; the call sequence is otherwise
+    line-for-line the unfused :func:`repro.sssp.graphblas_sssp.graphblas_delta_stepping`.
+    """
+    from ..graphblas import operations as ops
+    from ..graphblas.binaryop import LOR, LT, MIN
+    from ..graphblas.descriptor import REPLACE
+    from ..graphblas.matrix import Matrix
+    from ..graphblas.monoid import MIN_MONOID
+    from ..graphblas.semiring import MIN_PLUS
+    from ..graphblas.types import BOOL, FP64
+    from ..graphblas.unaryop import IDENTITY, range_filter, threshold_geq
+    from ..sssp.graphblas_sssp import build_light_heavy_matrices
+
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    src = _check_sources(graph, sources)
+    K, n = len(src), graph.num_vertices
+
+    A = graph.to_matrix()
+    Al, Ah = build_light_heavy_matrices(A, delta)
+
+    # T[k, s_k] = 0 — unstored entries are implicitly infinite
+    T = Matrix.new(FP64, K, n)
+    for k in range(K):
+        ops.assign_scalar_matrix(T, 0.0, rows=[k], cols=[int(src[k])])
+
+    TB = Matrix.new(BOOL, K, n)
+    Tmasked = Matrix.new(FP64, K, n)
+    TReq = Matrix.new(FP64, K, n)
+    TLess = Matrix.new(BOOL, K, n)
+    S = Matrix.new(BOOL, K, n)
+    Tgeq = Matrix.new(BOOL, K, n)
+    Tcomp = Matrix.new(FP64, K, n)
+
+    counters = {"buckets": 0, "phases": 0, "relaxations": 0, "updates": 0}
+    i = 0
+
+    def active_count() -> int:
+        ops.apply(Tgeq, threshold_geq(i * delta), T)
+        ops.apply(Tcomp, IDENTITY, T, mask=Tgeq, desc=REPLACE)
+        return Tcomp.nvals
+
+    while active_count() > 0:
+        smallest = ops.reduce_matrix_to_scalar(MIN_MONOID, Tcomp)
+        i = max(i, int(smallest // delta))
+        counters["buckets"] += 1
+        S.clear()
+        ops.apply(TB, range_filter(i * delta, (i + 1) * delta), T, desc=REPLACE)
+        ops.apply(Tmasked, IDENTITY, T, mask=TB, desc=REPLACE)
+
+        while Tmasked.nvals > 0:
+            counters["phases"] += 1
+            # TReq = (T ∘ TBi) (min.+) A_L — K relaxation waves in one mxm
+            ops.mxm(TReq, MIN_PLUS, Tmasked, Al, desc=REPLACE)
+            counters["relaxations"] += TReq.nvals
+            ops.ewise_add(S, LOR, S, TB)
+            ops.ewise_add(TLess, LT, TReq, T, mask=TReq, desc=REPLACE)
+            ops.apply(TB, range_filter(i * delta, (i + 1) * delta), TReq, mask=TLess, desc=REPLACE)
+            counters["updates"] += int(np.count_nonzero(TLess.values))
+            ops.ewise_add(T, MIN, T, TReq)
+            ops.apply(Tmasked, IDENTITY, T, mask=TB, desc=REPLACE)
+
+        ops.apply(Tmasked, IDENTITY, T, mask=S, desc=REPLACE)
+        ops.mxm(TReq, MIN_PLUS, Tmasked, Ah, desc=REPLACE)
+        counters["relaxations"] += TReq.nvals
+        counters["phases"] += 1
+        ops.ewise_add(T, MIN, T, TReq)
+        i += 1
+
+    distances = np.full((K, n), INF, dtype=np.float64)
+    rows, cols, vals = T.to_coo()
+    distances[rows, cols] = vals
+    return BatchSSSPResult(
+        distances=distances,
+        sources=src,
+        delta=delta,
+        method="batch-graphblas",
+        buckets_processed=counters["buckets"],
+        phases=counters["phases"],
+        relaxations=counters["relaxations"],
+        updates=counters["updates"],
+    )
+
+
+BATCH_METHODS = {
+    "fused": batch_fused_delta_stepping,
+    "graphblas": batch_graphblas_delta_stepping,
+}
+
+
+def batch_delta_stepping(
+    graph: Graph,
+    sources,
+    delta: float | None = None,
+    method: str = "fused",
+) -> BatchSSSPResult:
+    """Run delta-stepping from all *sources* through shared relaxation waves.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`repro.graphs.Graph` (non-negative weights).
+    sources:
+        Sequence of source vertex ids (duplicates allowed — each gets its
+        own row).
+    delta:
+        Bucket width Δ; ``None`` selects it automatically
+        (:func:`repro.sssp.delta.choose_delta`).
+    method:
+        ``"fused"`` (throughput engine, default) or ``"graphblas"``
+        (matrix-kernel formulation).
+    """
+    if method not in BATCH_METHODS:
+        known = ", ".join(sorted(BATCH_METHODS))
+        raise ValueError(f"unknown batch method {method!r}; known: {known}")
+    if delta is None:
+        delta = choose_delta(graph)
+    return BATCH_METHODS[method](graph, sources, delta)

@@ -1,0 +1,172 @@
+"""An LRU cache of full distance vectors, keyed by (graph, source, weights).
+
+One SSSP run answers *every* point query from its source, so the natural
+cache unit is the whole distance array.  Keys combine the graph identity
+(``id`` plus a mutation epoch — see :meth:`DistanceCache.invalidate`),
+the source vertex, and the weight mode, because the same catalog graph is
+routinely queried under both unit and distribution weights.
+
+Cached arrays are stored read-only: handing out a mutable view of a
+shared answer would let one caller corrupt every later hit.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs.graph import Graph
+
+__all__ = ["CacheStats", "DistanceCache"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters since construction (or the last :meth:`DistanceCache.clear`)."""
+
+    hits: int
+    misses: int
+    evictions: int
+    invalidations: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CacheStats<{self.size}/{self.capacity} entries, "
+            f"hit_rate={self.hit_rate:.2%} ({self.hits}h/{self.misses}m), "
+            f"evictions={self.evictions}>"
+        )
+
+
+class DistanceCache:
+    """LRU map ``(graph, source, weight_mode) → distance array``.
+
+    Thread-safe (one lock around the ordered map — lookups are tiny next
+    to the SSSP runs they save).  Graph identity is ``id(graph)`` paired
+    with an epoch counter; :meth:`invalidate` bumps the epoch so every
+    entry of a mutated graph mismatches at once, and a ``weakref.finalize``
+    per graph drops its entries when the graph is garbage-collected (which
+    also protects against ``id`` reuse).  The finalize callback can fire
+    from the garbage collector at any allocation point — possibly while
+    this very cache holds its lock — so it only *enqueues* the dead id;
+    the locked public methods purge the queue.
+    """
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self._epochs: dict[int, int] = {}
+        self._dead_gids: deque[int] = deque()  # filled lock-free by finalizers
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    # -- graph identity ----------------------------------------------------
+
+    def _graph_token(self, graph: Graph) -> tuple[int, int]:
+        gid = id(graph)
+        epoch = self._epochs.get(gid)
+        if epoch is None:
+            epoch = 0
+            self._epochs[gid] = epoch
+            weakref.finalize(graph, self._dead_gids.append, gid)
+        return gid, epoch
+
+    def _purge_dead(self) -> None:
+        """Drop entries of collected graphs (called under the lock)."""
+        while self._dead_gids:
+            gid = self._dead_gids.popleft()
+            self._epochs.pop(gid, None)
+            for key in [k for k in self._entries if k[0] == gid]:
+                del self._entries[key]
+
+    # -- the cache proper --------------------------------------------------
+
+    def get(self, graph: Graph, source: int, weight_mode: str = "unit") -> np.ndarray | None:
+        """The cached distance array, or ``None`` on a miss."""
+        with self._lock:
+            self._purge_dead()
+            key = (*self._graph_token(graph), int(source), weight_mode)
+            dist = self._entries.get(key)
+            if dist is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return dist
+
+    def put(self, graph: Graph, source: int, weight_mode: str, distances: np.ndarray) -> np.ndarray:
+        """Insert (or refresh) one distance array; returns the stored view."""
+        dist = np.asarray(distances, dtype=np.float64)
+        if dist.ndim != 1 or len(dist) != graph.num_vertices:
+            raise ValueError(
+                f"expected a length-{graph.num_vertices} distance array, got shape {dist.shape}"
+            )
+        dist = dist.copy()
+        dist.flags.writeable = False
+        with self._lock:
+            self._purge_dead()
+            key = (*self._graph_token(graph), int(source), weight_mode)
+            self._entries[key] = dist
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+        return dist
+
+    def invalidate(self, graph: Graph) -> int:
+        """Drop every entry of *graph* (call after mutating it in place).
+
+        Returns the number of entries dropped.  The graph's epoch is
+        bumped, so any concurrent holder of the old token also misses.
+        """
+        with self._lock:
+            self._purge_dead()
+            gid = id(graph)
+            if gid in self._epochs:
+                self._epochs[gid] += 1
+            stale = [k for k in self._entries if k[0] == gid]
+            for key in stale:
+                del self._entries[key]
+            self._invalidations += 1
+            return len(stale)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self._hits = self._misses = self._evictions = self._invalidations = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            self._purge_dead()
+            return len(self._entries)
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            self._purge_dead()
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                invalidations=self._invalidations,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DistanceCache<{len(self._entries)}/{self.capacity}>"

@@ -1,0 +1,151 @@
+"""Query planning: coalesce pending queries into batches, route exact vs approximate.
+
+The planner is the pure-decision half of the service (the server executes
+the plan).  Given the pending queries it:
+
+1. deduplicates sources — fifty point queries from one source need one
+   distance vector;
+2. answers whatever the cache already holds;
+3. routes the rest: *exact* sources are packed into batch-engine groups
+   of at most ``max_batch_size``; when a latency budget is present, a
+   cost model (calibrated from observed solve times) predicts the exact
+   cost, and sources that would blow the budget fall back to *approximate*
+   landmark answers — if a landmark index exists, otherwise exact anyway
+   (correctness beats the budget).
+
+Keeping this logic free of I/O and timing makes it unit-testable: the
+tests drive it with a synthetic cost model and assert the routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Query", "QueryPlan", "QueryPlanner"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """One request: distances from *source* to *target* (or to everything).
+
+    ``target=None`` asks for the full one-to-many distance vector.
+    ``max_latency_ms`` (optional) lets a single query demand a tighter
+    budget than the service default.
+    """
+
+    source: int
+    target: int | None = None
+    max_latency_ms: float | None = None
+
+
+@dataclass
+class QueryPlan:
+    """The planner's decision, in source granularity.
+
+    ``cached`` carries the distance arrays the cache probe already
+    fetched (probing and fetching are one operation — the server must
+    not re-fetch, both for honest hit counting and because a shared
+    cache could evict between plan and execution); ``batches`` are
+    source groups to hand to the batch engine; ``approximate`` sources
+    get landmark estimates.
+    """
+
+    cached: dict[int, "np.ndarray"] = field(default_factory=dict)
+    batches: list[np.ndarray] = field(default_factory=list)
+    approximate: list[int] = field(default_factory=list)
+
+    @property
+    def num_exact_sources(self) -> int:
+        return sum(len(b) for b in self.batches)
+
+
+class QueryPlanner:
+    """Routes queries between cache, batch engine, and landmark estimates.
+
+    Parameters
+    ----------
+    max_batch_size:
+        Upper bound on the K of one batch solve (bounds the K×n state).
+    latency_budget_ms:
+        Budget for one drain round.  Exact solves are admitted while the
+        *cumulative* predicted cost stays within it; once the round's
+        budget is spent, remaining sources fall back to landmark
+        estimates (when available).  ``None`` means always exact.
+    """
+
+    def __init__(self, max_batch_size: int = 64, latency_budget_ms: float | None = None):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        self.max_batch_size = max_batch_size
+        self.latency_budget_ms = latency_budget_ms
+        # EWMA of per-source exact solve cost, calibrated by the server
+        self._ms_per_source: float | None = None
+
+    # -- cost model --------------------------------------------------------
+
+    def record_solve(self, num_sources: int, elapsed_ms: float) -> None:
+        """Feed an observed batch solve back into the cost model."""
+        if num_sources < 1 or elapsed_ms < 0:
+            return
+        per_source = elapsed_ms / num_sources
+        if self._ms_per_source is None:
+            self._ms_per_source = per_source
+        else:
+            self._ms_per_source = 0.7 * self._ms_per_source + 0.3 * per_source
+
+    def predicted_exact_ms(self, num_sources: int) -> float | None:
+        """Predicted cost of an exact solve for *num_sources* new sources."""
+        if self._ms_per_source is None:
+            return None
+        return self._ms_per_source * num_sources
+
+    # -- planning ----------------------------------------------------------
+
+    def plan(self, queries, cache=None, graph=None, weight_mode: str = "unit", has_landmarks: bool = False) -> QueryPlan:
+        """Coalesce *queries* into a :class:`QueryPlan`.
+
+        ``cache``/``graph`` enable the cache probe (either may be ``None``
+        for a cold plan); ``has_landmarks`` enables the approximate route.
+        """
+        plan = QueryPlan()
+        seen: dict[int, None] = {}
+        budgets: dict[int, float] = {}
+        for q in queries:
+            s = int(q.source)
+            if s not in seen:
+                seen[s] = None
+            if q.max_latency_ms is not None:
+                budgets[s] = min(budgets.get(s, q.max_latency_ms), q.max_latency_ms)
+
+        pending: list[int] = []
+        for s in seen:
+            hit = cache.get(graph, s, weight_mode) if cache is not None and graph is not None else None
+            if hit is not None:
+                plan.cached[s] = hit
+            else:
+                pending.append(s)
+
+        exact: list[int] = []
+        per_source = self.predicted_exact_ms(1)
+        committed_ms = 0.0  # cumulative predicted cost of this round
+        for s in pending:
+            budget = budgets.get(s, self.latency_budget_ms)
+            tight = (
+                budget is not None
+                and per_source is not None
+                and committed_ms + per_source > budget
+            )
+            if tight and has_landmarks:
+                plan.approximate.append(s)
+            else:
+                exact.append(s)
+                if per_source is not None:
+                    committed_ms += per_source
+
+        for lo in range(0, len(exact), self.max_batch_size):
+            plan.batches.append(
+                np.asarray(exact[lo : lo + self.max_batch_size], dtype=np.int64)
+            )
+        return plan

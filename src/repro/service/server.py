@@ -1,0 +1,268 @@
+"""The synchronous query service: queue → coalesce → batch-solve → respond.
+
+:class:`QueryService` is the front door of the subsystem.  Callers
+``submit`` point or one-to-many queries; ``drain`` executes one planning
+round — cache probes, batched exact solves (:mod:`repro.service.batch`),
+landmark fallbacks (:mod:`repro.service.landmarks`) — and returns every
+response in submission order.  ``query`` wraps submit+drain for the
+interactive one-off case.
+
+The service keeps per-query latency samples and exposes throughput
+percentiles (p50/p90/p99), which the ``serve-bench`` CLI command and the
+SERVE experiment report.  Everything is synchronous and single-threaded
+by design: this PR establishes the engine and the interfaces; sharding
+and async dispatch layer on top of exactly this surface.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..sssp.delta import choose_delta
+from .batch import batch_delta_stepping
+from .cache import CacheStats, DistanceCache
+from .landmarks import LandmarkIndex
+from .planner import Query, QueryPlan, QueryPlanner
+
+__all__ = ["QueryResponse", "ServiceStats", "QueryService"]
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """The answer to one :class:`~repro.service.planner.Query`.
+
+    ``distance`` is filled for point queries, ``distances`` (full vector)
+    for one-to-many.  ``exact`` is False only for landmark estimates, in
+    which case ``distance`` carries the admissible upper bound and
+    ``bounds`` the full interval.
+    """
+
+    query: Query
+    distance: float | None = None
+    distances: np.ndarray | None = None
+    exact: bool = True
+    from_cache: bool = False
+    latency_ms: float = 0.0
+    bounds: tuple[float, float] | None = None
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Aggregate service counters + latency percentiles."""
+
+    queries_served: int
+    exact_answers: int
+    approximate_answers: int
+    batches_solved: int
+    sources_solved: int
+    cache: CacheStats
+    latency_p50_ms: float
+    latency_p90_ms: float
+    latency_p99_ms: float
+    throughput_qps: float
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ServiceStats<{self.queries_served} served, "
+            f"p50={self.latency_p50_ms:.2f}ms p99={self.latency_p99_ms:.2f}ms, "
+            f"{self.throughput_qps:.0f} qps>"
+        )
+
+
+class QueryService:
+    """A synchronous distance-query service over one graph.
+
+    Parameters
+    ----------
+    graph:
+        The (immutable while serving) graph.  After mutating it in place,
+        call :meth:`invalidate`.
+    weight_mode:
+        Cache-key tag for the weight configuration of *graph*.
+    delta:
+        Δ for the batch engine (``None`` = auto).
+    cache:
+        A :class:`DistanceCache` (one is created when omitted; pass a
+        shared instance to pool across services).
+    landmarks:
+        Optional :class:`LandmarkIndex` enabling approximate answers.
+    planner:
+        Optional :class:`QueryPlanner`; defaults to batches of
+        *max_batch_size* with *latency_budget_ms*.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        weight_mode: str = "unit",
+        delta: float | None = None,
+        cache: DistanceCache | None = None,
+        landmarks: LandmarkIndex | None = None,
+        planner: QueryPlanner | None = None,
+        max_batch_size: int = 64,
+        latency_budget_ms: float | None = None,
+        batch_method: str = "fused",
+    ):
+        self.graph = graph
+        self.weight_mode = weight_mode
+        self.delta = delta if delta is not None else choose_delta(graph)
+        self.cache = cache if cache is not None else DistanceCache()
+        self.landmarks = landmarks
+        self.planner = planner if planner is not None else QueryPlanner(
+            max_batch_size=max_batch_size, latency_budget_ms=latency_budget_ms
+        )
+        self.batch_method = batch_method
+        self._pending: list[Query] = []
+        self._latencies_ms: list[float] = []
+        self._serving_seconds = 0.0
+        self._exact = 0
+        self._approximate = 0
+        self._batches_solved = 0
+        self._sources_solved = 0
+
+    # -- request intake ----------------------------------------------------
+
+    def submit(self, query: Query) -> int:
+        """Enqueue one query; returns its position in the next drain."""
+        n = self.graph.num_vertices
+        if not 0 <= query.source < n:
+            raise IndexError(f"source {query.source} out of range [0, {n})")
+        if query.target is not None and not 0 <= query.target < n:
+            raise IndexError(f"target {query.target} out of range [0, {n})")
+        self._pending.append(query)
+        return len(self._pending) - 1
+
+    @property
+    def num_pending(self) -> int:
+        return len(self._pending)
+
+    def query(self, source: int, target: int | None = None) -> QueryResponse:
+        """Submit one query and drain immediately (the interactive path)."""
+        idx = self.submit(Query(source=source, target=target))
+        return self.drain()[idx]
+
+    # -- one planning/execution round --------------------------------------
+
+    def drain(self) -> list[QueryResponse]:
+        """Execute every pending query; responses in submission order."""
+        queries, self._pending = self._pending, []
+        if not queries:
+            return []
+        t0 = time.perf_counter()
+        plan = self.planner.plan(
+            queries,
+            cache=self.cache,
+            graph=self.graph,
+            weight_mode=self.weight_mode,
+            has_landmarks=self.landmarks is not None,
+        )
+        # the plan carries the fetched cache hits (a later eviction — e.g.
+        # by this round's own puts into a small shared cache — can't
+        # invalidate an answer already in hand)
+        cached_set = set(plan.cached)
+        solved = dict(plan.cached)
+        solved.update(self._execute(plan))
+        elapsed_ms = (time.perf_counter() - t0) * 1e3
+        self._serving_seconds += elapsed_ms / 1e3
+
+        # Synchronous round: every query in it observes the round's latency.
+        per_query_ms = elapsed_ms
+        approx_set = set(plan.approximate)
+        responses = []
+        for q in queries:
+            s = int(q.source)
+            self._latencies_ms.append(per_query_ms)
+            if s in approx_set:
+                responses.append(self._answer_approximate(q, per_query_ms))
+                continue
+            responses.append(
+                self._answer_exact(
+                    q, solved[s], from_cache=s in cached_set, latency_ms=per_query_ms
+                )
+            )
+        return responses
+
+    def _execute(self, plan: QueryPlan) -> dict[int, np.ndarray]:
+        """Run the plan's batch solves; returns source → distance vector."""
+        solved: dict[int, np.ndarray] = {}
+        for batch in plan.batches:
+            t0 = time.perf_counter()
+            result = batch_delta_stepping(
+                self.graph, batch, delta=self.delta, method=self.batch_method
+            )
+            self.planner.record_solve(
+                len(batch), (time.perf_counter() - t0) * 1e3
+            )
+            self._batches_solved += 1
+            self._sources_solved += len(batch)
+            for k, s in enumerate(batch):
+                solved[int(s)] = self.cache.put(
+                    self.graph, int(s), self.weight_mode, result.distances[k]
+                )
+        return solved
+
+    def _answer_exact(self, q: Query, dist: np.ndarray, from_cache: bool, latency_ms: float) -> QueryResponse:
+        self._exact += 1
+        if q.target is None:
+            return QueryResponse(
+                query=q, distances=dist, exact=True,
+                from_cache=from_cache, latency_ms=latency_ms,
+            )
+        return QueryResponse(
+            query=q, distance=float(dist[q.target]), exact=True,
+            from_cache=from_cache, latency_ms=latency_ms,
+        )
+
+    def _answer_approximate(self, q: Query, latency_ms: float) -> QueryResponse:
+        self._approximate += 1
+        if q.target is None:
+            # one-to-many: upper bounds to every vertex via the landmarks
+            ub = np.min(
+                self.landmarks.dist_to[:, q.source, None] + self.landmarks.dist_from,
+                axis=0,
+            )
+            ub[q.source] = 0.0
+            return QueryResponse(
+                query=q, distances=ub, exact=False, latency_ms=latency_ms,
+            )
+        est = self.landmarks.estimate(q.source, q.target)
+        return QueryResponse(
+            query=q, distance=est.upper, exact=False,
+            latency_ms=latency_ms, bounds=(est.lower, est.upper),
+        )
+
+    # -- maintenance & reporting -------------------------------------------
+
+    def invalidate(self) -> int:
+        """Drop cached answers after the graph mutated in place."""
+        return self.cache.invalidate(self.graph)
+
+    def stats(self) -> ServiceStats:
+        lat = np.asarray(self._latencies_ms, dtype=np.float64)
+        p50, p90, p99 = (
+            tuple(np.percentile(lat, [50, 90, 99])) if len(lat) else (0.0, 0.0, 0.0)
+        )
+        served = self._exact + self._approximate
+        qps = served / self._serving_seconds if self._serving_seconds > 0 else 0.0
+        return ServiceStats(
+            queries_served=served,
+            exact_answers=self._exact,
+            approximate_answers=self._approximate,
+            batches_solved=self._batches_solved,
+            sources_solved=self._sources_solved,
+            cache=self.cache.stats(),
+            latency_p50_ms=float(p50),
+            latency_p90_ms=float(p90),
+            latency_p99_ms=float(p99),
+            throughput_qps=qps,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QueryService<{self.graph.name}, pending={self.num_pending}, "
+            f"cache={len(self.cache)}>"
+        )

@@ -22,6 +22,7 @@ from repro.graphblas import (
     TIMES,
     Vector,
     apply,
+    assign_scalar_matrix,
     assign_scalar_vector,
     assign_vector,
     ewise_add,
@@ -223,6 +224,33 @@ class TestMxm:
         with pytest.raises(DimensionMismatch):
             mxm(Matrix.new(FP64, 2, 2), PLUS_TIMES, Matrix.new(FP64, 2, 3), Matrix.new(FP64, 2, 2))
 
+    def test_masked_mxm_complement(self, rng):
+        """Complemented mask: kept entries are exactly the product's
+        pattern *outside* the mask (exercises the kernel's early filter)."""
+        n = 10
+        a_d = (rng.random((n, n)) < 0.4).astype(np.float64)
+        a = Matrix.from_dense(a_d, missing=0.0)
+        out = Matrix.new(FP64, n, n)
+        from repro.graphblas.descriptor import Descriptor
+
+        desc = Descriptor(mask_complement=True, mask_structure=True)
+        mxm(out, PLUS_TIMES, a, a, mask=a, desc=desc)
+        full = a_d @ a_d
+        expected = np.where(a_d > 0, 0.0, full)
+        assert np.allclose(out.to_dense(), expected)
+
+    def test_min_plus_batch_frontier(self):
+        """The batch-SSSP wave: a K×n frontier matrix against the
+        adjacency under (min, +) relaxes K searches in one mxm."""
+        # path 0 -> 1 -> 2 with weights 2, 3
+        A = Matrix.from_coo([0, 1], [1, 2], [2.0, 3.0], 3, 3)
+        F = Matrix.from_coo([0, 1], [0, 1], [0.0, 0.0], 2, 3)  # sources 0 and 1
+        out = Matrix.new(FP64, 2, 3)
+        mxm(out, MIN_PLUS, F, A)
+        assert out.to_coo()[2].tolist() == [2.0, 3.0]
+        assert out.get(0, 1) == 2.0  # from source 0
+        assert out.get(1, 2) == 3.0  # from source 1
+
 
 class TestReduce:
     def test_vector_to_scalar(self, v3):
@@ -280,6 +308,35 @@ class TestExtractAssign:
         u = Vector.from_coo([0, 1], [10.0, 20.0], 2)
         assign_vector(w, u, [3, 1])
         assert w.to_dict() == {1: 20.0, 3: 10.0}
+
+    def test_assign_scalar_matrix_cross_product(self):
+        c = Matrix.new(FP64, 3, 4)
+        assign_scalar_matrix(c, 5.0, rows=[0, 2], cols=[1, 3])
+        assert c.to_dense().tolist() == [
+            [0.0, 5.0, 0.0, 5.0],
+            [0.0, 0.0, 0.0, 0.0],
+            [0.0, 5.0, 0.0, 5.0],
+        ]
+
+    def test_assign_scalar_matrix_preserves_outside_region(self):
+        """GrB_assign semantics: entries outside rows x cols survive —
+        the batch engine seeds one source per row in K separate calls."""
+        c = Matrix.new(FP64, 2, 3)
+        assign_scalar_matrix(c, 1.0, rows=[0], cols=[0])
+        assign_scalar_matrix(c, 2.0, rows=[1], cols=[2])
+        assert c.nvals == 2
+        assert c.get(0, 0) == 1.0 and c.get(1, 2) == 2.0
+
+    def test_assign_scalar_matrix_accum(self):
+        c = Matrix.from_coo([0], [0], [10.0], 2, 2)
+        assign_scalar_matrix(c, 1.0, rows=[0], cols=[0, 1], accum=PLUS)
+        assert c.nvals == 2
+        assert c.get(0, 0) == 11.0 and c.get(0, 1) == 1.0
+
+    def test_assign_scalar_matrix_all(self):
+        c = Matrix.new(FP64, 2, 2)
+        assign_scalar_matrix(c, 3.0)
+        assert np.allclose(c.to_dense(), 3.0)
 
 
 class TestTransposeKronecker:

@@ -8,7 +8,7 @@ import numpy as np
 import pytest
 
 from repro.parallel.partition import balanced_partition, chunk_by_cost, chunk_ranges
-from repro.parallel.pool import WorkerPool, get_pool, parallel_map
+from repro.parallel.pool import WorkerPool, get_pool, parallel_map, shutdown_all_pools
 from repro.parallel.simulate import SimulatedExecutor, simulate_makespan
 from repro.parallel.tasks import Task, TaskGraph, run_task_graph
 
@@ -108,6 +108,55 @@ class TestWorkerPool:
 
         with pytest.raises(RuntimeError, match="task failed"):
             pool.run_batch([boom, lambda: 1])
+
+
+class TestPoolLifecycle:
+    """The shutdown path runs twice in real life: explicitly from tests or
+    embedders, then again via the ``atexit`` hook."""
+
+    def test_pool_shutdown_idempotent(self):
+        pool = WorkerPool(2)
+        pool.shutdown()
+        pool.shutdown()  # second call is a no-op, not an error
+        assert pool.closed
+
+    def test_run_batch_after_shutdown_raises(self):
+        pool = WorkerPool(2)
+        pool.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            pool.run_batch([lambda: 1])
+
+    def test_shutdown_all_pools_idempotent(self):
+        get_pool(2)
+        shutdown_all_pools()
+        shutdown_all_pools()  # the atexit double-fire
+
+    def test_get_pool_after_shutdown_returns_fresh_pool(self):
+        stale = get_pool(2)
+        shutdown_all_pools()
+        fresh = get_pool(2)
+        assert fresh is not stale
+        assert fresh.run_batch([lambda: 40, lambda: 2]) == [40, 2]
+
+    def test_directly_shut_down_pool_is_replaced(self):
+        pool = get_pool(3)
+        pool.shutdown()
+        assert get_pool(3) is not pool
+
+    def test_concurrent_shutdown_single_teardown(self):
+        pool = WorkerPool(4)
+        barrier = threading.Barrier(4)
+
+        def race():
+            barrier.wait()
+            pool.shutdown()
+
+        threads = [threading.Thread(target=race) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert pool.closed
 
 
 class TestTaskGraph:

@@ -1,0 +1,125 @@
+"""DistanceCache: LRU eviction, graph invalidation, stats, immutability."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.service.cache import DistanceCache
+
+
+def _graph(n=4, name="g"):
+    return Graph.from_edges([0, 1, 2], [1, 2, 3], n=n, name=name)
+
+
+class TestLookup:
+    def test_miss_then_hit(self):
+        cache = DistanceCache()
+        g = _graph()
+        assert cache.get(g, 0) is None
+        cache.put(g, 0, "unit", np.arange(4.0))
+        hit = cache.get(g, 0)
+        assert hit is not None
+        assert np.array_equal(hit, [0, 1, 2, 3])
+
+    def test_key_includes_source_and_weight_mode(self):
+        cache = DistanceCache()
+        g = _graph()
+        cache.put(g, 0, "unit", np.zeros(4))
+        assert cache.get(g, 1) is None
+        assert cache.get(g, 0, "uniform") is None
+        assert cache.get(g, 0, "unit") is not None
+
+    def test_key_distinguishes_graph_objects(self):
+        cache = DistanceCache()
+        g1, g2 = _graph(name="a"), _graph(name="b")
+        cache.put(g1, 0, "unit", np.zeros(4))
+        assert cache.get(g2, 0) is None
+
+    def test_entries_are_read_only(self):
+        cache = DistanceCache()
+        g = _graph()
+        cache.put(g, 0, "unit", np.zeros(4))
+        hit = cache.get(g, 0)
+        with pytest.raises(ValueError):
+            hit[0] = 99.0
+
+    def test_put_validates_length(self):
+        cache = DistanceCache()
+        with pytest.raises(ValueError):
+            cache.put(_graph(), 0, "unit", np.zeros(3))
+
+
+class TestEviction:
+    def test_lru_eviction_order(self):
+        cache = DistanceCache(capacity=2)
+        g = _graph()
+        cache.put(g, 0, "unit", np.zeros(4))
+        cache.put(g, 1, "unit", np.zeros(4))
+        cache.get(g, 0)  # 0 is now most-recently-used
+        cache.put(g, 2, "unit", np.zeros(4))  # evicts 1, not 0
+        assert cache.get(g, 0) is not None
+        assert cache.get(g, 1) is None
+        assert cache.stats().evictions == 1
+
+    def test_capacity_bound_holds(self):
+        cache = DistanceCache(capacity=3)
+        g = _graph()
+        for s in range(10):
+            cache.put(g, s, "unit", np.zeros(4))
+        assert len(cache) == 3
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            DistanceCache(capacity=0)
+
+
+class TestInvalidation:
+    def test_invalidate_drops_graph_entries(self):
+        cache = DistanceCache()
+        g1, g2 = _graph(name="a"), _graph(name="b")
+        cache.put(g1, 0, "unit", np.zeros(4))
+        cache.put(g2, 0, "unit", np.zeros(4))
+        dropped = cache.invalidate(g1)
+        assert dropped == 1
+        assert cache.get(g1, 0) is None
+        assert cache.get(g2, 0) is not None
+
+    def test_mutation_workflow(self):
+        """The documented in-place mutation pattern: mutate, invalidate,
+        recompute — stale distances never come back."""
+        cache = DistanceCache()
+        g = _graph()
+        cache.put(g, 0, "unit", np.array([0.0, 1.0, 2.0, 3.0]))
+        g.weights[:] = 5.0  # in-place mutation
+        cache.invalidate(g)
+        assert cache.get(g, 0) is None
+        cache.put(g, 0, "unit", np.array([0.0, 5.0, 10.0, 15.0]))
+        assert cache.get(g, 0)[1] == 5.0
+
+    def test_stats_counters(self):
+        cache = DistanceCache()
+        g = _graph()
+        cache.get(g, 0)
+        cache.put(g, 0, "unit", np.zeros(4))
+        cache.get(g, 0)
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+        assert stats.hit_rate == 0.5
+
+    def test_clear_resets(self):
+        cache = DistanceCache()
+        g = _graph()
+        cache.put(g, 0, "unit", np.zeros(4))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats().hits == 0
+
+    def test_garbage_collected_graph_drops_entries(self):
+        import gc
+
+        cache = DistanceCache()
+        g = _graph()
+        cache.put(g, 0, "unit", np.zeros(4))
+        del g
+        gc.collect()
+        assert len(cache) == 0

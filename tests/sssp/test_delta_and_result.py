@@ -43,8 +43,14 @@ class TestDeltaHeuristics:
             assert choose_delta(g, name) > 0
 
     def test_unknown_strategy(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError) as excinfo:
             choose_delta(gen.grid_2d(2, 2), "magic")
+        # the error is a ValueError (not a raw KeyError escaping the
+        # registry lookup) and names every valid strategy
+        message = str(excinfo.value)
+        assert "magic" in message
+        for name in ("auto", *DELTA_STRATEGIES):
+            assert name in message
 
 
 class TestSSSPResult:

@@ -55,6 +55,39 @@ class TestReconstructPath:
         r = delta_stepping(g, 0, 1.0)
         assert reconstruct_path(g, r, 2) == []
 
+    def test_disconnected_component_targets(self):
+        """A whole second component: every vertex in it reconstructs to an
+        empty path (no exception), from every implementation's result."""
+        # component A: 0-1-2 chain; component B: 3-4-5 cycle
+        g = Graph.from_edges(
+            [0, 1, 3, 4, 5], [1, 2, 4, 5, 3], [1.0, 2.0, 1.0, 1.0, 1.0], n=6
+        )
+        for method in ("fused", "graphblas", "meyer-sanders"):
+            r = delta_stepping(g, 0, 1.0, method=method)
+            assert not np.isfinite(r.distances[3:]).any()
+            for target in (3, 4, 5):
+                assert reconstruct_path(g, r, target) == []
+            # reachable side still works
+            assert reconstruct_path(g, r, 2) == [0, 1, 2]
+
+    def test_disconnected_component_predecessors(self):
+        g = Graph.from_edges(
+            [0, 1, 3, 4, 5], [1, 2, 4, 5, 3], [1.0, 2.0, 1.0, 1.0, 1.0], n=6
+        )
+        r = delta_stepping(g, 0, 1.0)
+        pred = predecessor_tree(g, r)
+        # unreachable vertices have no predecessor, even though the
+        # cycle's edges are "tight" among themselves (inf == inf + w is
+        # not a tight edge because the source distance is not finite)
+        assert pred[3:].tolist() == [-1, -1, -1]
+
+    def test_isolated_source_all_unreachable(self):
+        g = Graph.from_edges([1], [2], n=4)  # source 0 has no out-edges
+        r = delta_stepping(g, 0, 1.0)
+        assert reconstruct_path(g, r, 0) == [0]
+        for target in (1, 2, 3):
+            assert reconstruct_path(g, r, target) == []
+
     def test_target_out_of_range(self, diamond_graph):
         r = delta_stepping(diamond_graph, 0, 1.0)
         with pytest.raises(IndexError):

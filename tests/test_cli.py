@@ -26,6 +26,17 @@ class TestParser:
         assert args.method == "capi"
         assert args.delta == 2.0
 
+    def test_query_arguments(self):
+        args = build_parser().parse_args(["query", "ci-ws", "--source", "3", "--target", "9"])
+        assert args.graph == "ci-ws"
+        assert (args.source, args.target) == (3, 9)
+        assert args.repeat == 2
+
+    def test_serve_bench_defaults(self):
+        args = build_parser().parse_args(["serve-bench"])
+        assert args.suite == "ci"
+        assert args.queries == 64
+
 
 class TestCommands:
     def test_run_command(self, capsys):
@@ -49,6 +60,33 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "fused_filter" in out
         assert "unfused" in out
+
+    def test_query_point(self, capsys):
+        assert main(["query", "ci-ws", "--target", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "batch solve" in out
+        assert "cache" in out  # the repeat is served from cache
+
+    def test_query_one_to_many(self, capsys):
+        assert main(["query", "ci-ws", "--repeat", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "reached" in out
+
+    def test_query_with_landmarks(self, capsys):
+        assert main(["query", "ci-ws", "--target", "40", "--landmarks", "3"]) == 0
+        assert "landmark bounds" in capsys.readouterr().out
+
+    def test_serve_bench_tiny(self, capsys, monkeypatch):
+        import repro.bench.workloads as wl
+
+        monkeypatch.setattr(
+            "repro.bench.registry.suite_workloads",
+            lambda suite=None, **kw: [wl.workload_for("ci-ws")],
+        )
+        assert main(["serve-bench", "--queries", "8", "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "service_qps" in out
+        assert "verified bit-identical" in out
 
     def test_profile_command_tiny(self, capsys, monkeypatch):
         # shrink the suite to one graph to keep the test fast

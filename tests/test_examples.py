@@ -17,6 +17,7 @@ FAST_EXAMPLES = [
     "quickstart.py",
     "translation_pipeline.py",
     "road_network_routing.py",
+    "query_service.py",
 ]
 
 
@@ -28,7 +29,7 @@ def test_example_runs(name, capsys):
 
 
 def test_examples_inventory_complete():
-    """At least the five documented examples exist and are executable."""
+    """At least the six documented examples exist and are executable."""
     names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
     assert {
         "quickstart.py",
@@ -36,6 +37,7 @@ def test_examples_inventory_complete():
         "translation_pipeline.py",
         "social_network_analysis.py",
         "parallel_scaling.py",
+        "query_service.py",
     } <= names
 
 
