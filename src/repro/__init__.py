@@ -10,6 +10,8 @@ Top-level surface:
 - :mod:`repro.service` — the distance-query service layer: multi-source
   batch SSSP engine, LRU distance cache, ALT-style landmark bounds, and
   the coalescing query server (``repro-sssp query`` / ``serve-bench``).
+- :mod:`repro.dynamic` — graph mutation batches + incremental SSSP
+  repair (``repro-sssp mutate-bench``).
 - :mod:`repro.parallel` — OpenMP-task-like runtime (threads + simulator).
 - :mod:`repro.algorithms` — further algorithms built with the methodology.
 - :mod:`repro.bench` — harness regenerating every figure in the paper.
@@ -32,6 +34,7 @@ __all__ = [
     "datasets",
     "sssp",
     "service",
+    "dynamic",
     "ir",
     "parallel",
     "algorithms",
@@ -43,7 +46,7 @@ def __getattr__(name):
     """Lazy subpackage loading so ``import repro`` stays light."""
     import importlib
 
-    if name in {"graphblas", "graphs", "sssp", "service", "ir", "parallel", "algorithms", "bench"}:
+    if name in {"graphblas", "graphs", "sssp", "service", "dynamic", "ir", "parallel", "algorithms", "bench"}:
         return importlib.import_module(f".{name}", __name__)
     if name == "datasets":
         return importlib.import_module(".graphs.datasets", __name__)

@@ -18,6 +18,7 @@ from .figures import (
     render_sec6c,
     sec6c_profile,
 )
+from .mutate_bench import mutation_repair_series, render_mutation_repair
 from .service_bench import render_service_throughput, service_throughput_series
 from .workloads import suite_workloads
 
@@ -67,6 +68,13 @@ EXPERIMENTS: dict[str, Experiment] = {
         claim="Batched multi-source engine serves >=3x the query throughput of a per-query fused loop",
         run=lambda suite=None, **kw: service_throughput_series(suite_workloads(suite), **kw),
         render=render_service_throughput,
+    ),
+    "DYN": Experiment(
+        id="DYN",
+        paper_artifact="Extension (dynamic graphs)",
+        claim="Incremental repair beats full recompute >=2x for small (<=1% of edges) update batches",
+        run=lambda suite=None, **kw: mutation_repair_series(suite=suite, **kw),
+        render=render_mutation_repair,
     ),
 }
 

@@ -10,6 +10,7 @@ profile     regenerate the §VI.C operation-share breakdown
 run         one SSSP run with any implementation, printing the summary
 query       answer distance queries through the service layer (cache + batch)
 serve-bench regenerate the SERVE experiment (batched vs looped throughput)
+mutate-bench regenerate the DYN experiment (incremental repair vs recompute)
 suite       list the dataset suite with structural statistics
 translate   show the IR translation pipeline + fusion report
 ==========  ==================================================================
@@ -58,6 +59,12 @@ def build_parser() -> argparse.ArgumentParser:
     sp = sub.add_parser("serve-bench", help="run the SERVE throughput experiment")
     sp.add_argument("--suite", default="ci", choices=["ci", "paper"], help="graph suite (default: ci)")
     sp.add_argument("--queries", type=int, default=64, help="queries per graph (default: 64)")
+    sp.add_argument("--repeats", type=int, default=3)
+
+    sp = sub.add_parser("mutate-bench", help="run the DYN incremental-repair experiment")
+    sp.add_argument("--suite", default="ci", choices=["ci", "paper"], help="graph suite (default: ci)")
+    sp.add_argument("--fractions", type=float, nargs="+", default=[0.002, 0.01, 0.05],
+                    help="update-batch sizes as fractions of the edge count")
     sp.add_argument("--repeats", type=int, default=3)
 
     sp = sub.add_parser("suite", help="list dataset suites with statistics")
@@ -136,6 +143,15 @@ def _cmd_serve_bench(args) -> int:
     return 0
 
 
+def _cmd_mutate_bench(args) -> int:
+    from .bench.registry import run_experiment
+
+    print(run_experiment(
+        "DYN", suite=args.suite, fractions=tuple(args.fractions), repeats=args.repeats
+    ))
+    return 0
+
+
 def _cmd_suite(args) -> int:
     from .bench.reporting import format_table
     from .graphs import datasets
@@ -183,6 +199,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "query": _cmd_query,
         "serve-bench": _cmd_serve_bench,
+        "mutate-bench": _cmd_mutate_bench,
         "suite": _cmd_suite,
         "translate": _cmd_translate,
     }[args.command]

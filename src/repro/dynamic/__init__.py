@@ -1,0 +1,39 @@
+"""Dynamic graphs: mutation batches + incremental SSSP repair.
+
+The dynamic-SSSP layer (the SSSP-Del direction) on top of the
+reproduction.  Where :mod:`repro.service` treats graphs as frozen, this
+package makes them *mutable* and distance answers *repairable*:
+
+==============================  =============================================
+:mod:`~repro.dynamic.mutations`    ``apply_edge_updates`` — insert / delete /
+                                   reweight batches that keep the CSR
+                                   canonical and bump ``graph.epoch``
+:mod:`~repro.dynamic.incremental`  ``repair_sssp`` — delta-stepping repair
+                                   waves seeded from the update batch,
+                                   bit-identical to a full recompute
+==============================  =============================================
+
+Entry points::
+
+    from repro.dynamic import apply_edge_updates, repair_sssp
+
+    applied = apply_edge_updates(graph, reweights=[(u, v, 0.2)])
+    repaired = repair_sssp(graph, source, old_distances, applied)
+
+The service layer drives both through
+:meth:`repro.service.QueryService.mutate`, which repairs hot cache
+entries in place and lazily rebuilds the landmark index.
+"""
+
+from __future__ import annotations
+
+from .incremental import RepairResult, affected_vertices, repair_sssp
+from .mutations import AppliedUpdates, apply_edge_updates
+
+__all__ = [
+    "AppliedUpdates",
+    "apply_edge_updates",
+    "RepairResult",
+    "repair_sssp",
+    "affected_vertices",
+]

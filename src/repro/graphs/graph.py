@@ -15,6 +15,18 @@ Graphs are simple (no self-loops, duplicate edges combined by minimum
 weight, matching shortest-path semantics) and may be directed or
 undirected (undirected edges are stored symmetrically, as SNAP's
 undirected datasets are).
+
+The *canonical* CSR form — every row sorted by target, no duplicate
+targets — is what :meth:`Graph.from_edges` produces and what binary-search
+lookups (:meth:`Graph.edge_weight`, the mutation API in
+:mod:`repro.dynamic`) rely on.  Adopted structures
+(:meth:`Graph.from_matrix`) are canonicalized on construction.
+
+Mutation goes through :func:`repro.dynamic.apply_edge_updates`, which
+keeps the CSR canonical and bumps :attr:`Graph.epoch` — the monotone
+counter that caches (:class:`repro.service.cache.DistanceCache`) key on,
+so a topology change invalidates every derived answer without manual
+bookkeeping.
 """
 
 from __future__ import annotations
@@ -26,7 +38,33 @@ import numpy as np
 from ..graphblas.matrix import Matrix
 from ..graphblas.sparseutil import INDEX_DTYPE
 
-__all__ = ["Graph"]
+__all__ = ["Graph", "build_canonical_csr"]
+
+
+def build_canonical_csr(src, dst, w, n: int, dedupe: bool = True):
+    """COO triples → canonical CSR ``(indptr, indices, weights)``.
+
+    Sorts by ``(src, dst)`` key and — with ``dedupe`` — min-combines
+    duplicate edges, the container's semantics.  The one implementation
+    behind :meth:`Graph.from_edges`, :meth:`Graph.canonicalize_rows`, and
+    the mutation API's merge path.  ``dedupe=False`` skips the duplicate
+    scan for inputs known unique (still sorts).
+    """
+    keys = np.asarray(src, dtype=np.int64) * np.int64(n) + dst
+    w = np.asarray(w, dtype=np.float64)
+    order = np.argsort(keys, kind="stable")
+    keys, w = keys[order], w[order]
+    if dedupe and len(keys):
+        boundaries = np.empty(len(keys), dtype=bool)
+        boundaries[0] = True
+        np.not_equal(keys[1:], keys[:-1], out=boundaries[1:])
+        starts = np.nonzero(boundaries)[0]
+        if len(starts) != len(keys):
+            w = np.minimum.reduceat(w, starts)
+            keys = keys[starts]
+    counts = np.bincount((keys // n).astype(INDEX_DTYPE), minlength=n).astype(INDEX_DTYPE)
+    indptr = np.concatenate([[0], np.cumsum(counts)]).astype(INDEX_DTYPE)
+    return indptr, (keys % n).astype(INDEX_DTYPE), np.ascontiguousarray(w)
 
 
 @dataclass
@@ -43,6 +81,11 @@ class Graph:
     directed:
         Whether the graph was built from directed edges.  Undirected
         graphs are stored with both orientations present.
+    epoch:
+        Mutation counter.  Starts at 0 and increases monotonically with
+        every :func:`repro.dynamic.apply_edge_updates` batch; caches key
+        derived answers on ``(id(graph), epoch)`` so stale entries miss
+        automatically after a mutation.
     """
 
     indptr: np.ndarray
@@ -51,6 +94,7 @@ class Graph:
     name: str = "graph"
     directed: bool = True
     meta: dict = field(default_factory=dict)
+    epoch: int = 0
 
     # -- constructors -------------------------------------------------------
 
@@ -91,24 +135,11 @@ class Graph:
         if remove_self_loops and len(src):
             keep = src != dst
             src, dst, w = src[keep], dst[keep], w[keep]
-        # dedupe by (src, dst), keeping the minimum weight
-        if len(src):
-            keys = src * np.int64(n) + dst
-            order = np.argsort(keys, kind="stable")
-            keys, w = keys[order], w[order]
-            boundaries = np.empty(len(keys), dtype=bool)
-            boundaries[0] = True
-            np.not_equal(keys[1:], keys[:-1], out=boundaries[1:])
-            starts = np.nonzero(boundaries)[0]
-            w = np.minimum.reduceat(w, starts)
-            keys = keys[starts]
-            src = (keys // n).astype(INDEX_DTYPE)
-            dst = (keys % n).astype(INDEX_DTYPE)
-        counts = np.bincount(src, minlength=n).astype(INDEX_DTYPE)
-        indptr = np.concatenate([[0], np.cumsum(counts)]).astype(INDEX_DTYPE)
+        # sort by (src, dst) and dedupe keeping the minimum weight
+        indptr, indices, w = build_canonical_csr(src, dst, w, n)
         return cls(
             indptr=indptr,
-            indices=dst,
+            indices=indices,
             weights=w,
             name=name,
             directed=directed,
@@ -116,7 +147,13 @@ class Graph:
 
     @classmethod
     def from_matrix(cls, A: Matrix, name: str = "graph", directed: bool = True) -> "Graph":
-        """Adopt a GraphBLAS adjacency matrix (zero-copy views)."""
+        """Adopt a GraphBLAS adjacency matrix (copies, canonicalized).
+
+        Matrices built through the GraphBLAS layer may carry unsorted
+        rows; the adopted CSR is canonicalized (rows sorted by target,
+        duplicate targets min-combined) so binary-search edge lookups
+        stay valid.
+        """
         if A.nrows != A.ncols:
             raise ValueError("adjacency matrix must be square")
         return cls(
@@ -125,7 +162,7 @@ class Graph:
             weights=A.values.astype(np.float64, copy=True),
             name=name,
             directed=directed,
-        )
+        ).canonicalize_rows()
 
     @classmethod
     def empty(cls, n: int, name: str = "empty") -> "Graph":
@@ -165,6 +202,16 @@ class Graph:
         """Out-degree of every vertex."""
         return np.diff(self.indptr)
 
+    def row_sources(self) -> np.ndarray:
+        """Source vertex of every stored edge, in CSR order.
+
+        The COO row index — ``to_edges`` minus the target/weight copies;
+        the expansion every edge-parallel pass needs.
+        """
+        return np.repeat(
+            np.arange(self.num_vertices, dtype=INDEX_DTYPE), np.diff(self.indptr)
+        )
+
     def neighbors(self, v: int):
         """``(targets, weights)`` views of vertex *v*'s out-edges."""
         lo, hi = self.indptr[v], self.indptr[v + 1]
@@ -173,6 +220,43 @@ class Graph:
     def has_unit_weights(self) -> bool:
         """True when every edge weight equals 1 (the paper's datasets)."""
         return bool(np.all(self.weights == 1.0)) if len(self.weights) else True
+
+    def edge_weight(self, u: int, v: int) -> float | None:
+        """Weight of edge ``u → v``, or ``None`` when absent.
+
+        A membership scan over the row, so it is correct even on rows
+        that are not sorted (e.g. a hand-built CSR); duplicate targets
+        resolve to the minimum weight, matching the container semantics.
+        """
+        nbrs, wts = self.neighbors(u)
+        hits = nbrs == v
+        if not hits.any():
+            return None
+        return float(wts[hits].min())
+
+    def has_canonical_rows(self) -> bool:
+        """True when every CSR row is strictly increasing (sorted, deduped)."""
+        if self.num_edges < 2:
+            return True
+        increasing = self.indices[1:] > self.indices[:-1]
+        # comparisons that straddle a row boundary carry no constraint
+        starts = np.asarray(self.indptr[1:-1], dtype=np.int64)
+        starts = starts[(starts > 0) & (starts < self.num_edges)]
+        increasing[starts - 1] = True
+        return bool(increasing.all())
+
+    def canonicalize_rows(self) -> "Graph":
+        """Sort every row by target and min-combine duplicates, in place.
+
+        Returns ``self``.  No-op (and no copies) when the CSR is already
+        canonical, so constructors can call it unconditionally.
+        """
+        if self.has_canonical_rows():
+            return self
+        self.indptr, self.indices, self.weights = build_canonical_csr(
+            self.row_sources(), self.indices, self.weights, self.num_vertices
+        )
+        return self
 
     # -- conversions -----------------------------------------------------------
 
@@ -187,16 +271,25 @@ class Graph:
 
     def to_edges(self):
         """COO export: ``(sources, targets, weights)``."""
-        src = np.repeat(
-            np.arange(self.num_vertices, dtype=INDEX_DTYPE), np.diff(self.indptr)
-        )
-        return src, self.indices.copy(), self.weights.copy()
+        return self.row_sources(), self.indices.copy(), self.weights.copy()
 
     def reverse(self) -> "Graph":
         """The graph with every edge reversed (CSC of the adjacency)."""
         src, dst, w = self.to_edges()
         return Graph.from_edges(
             dst, src, w, n=self.num_vertices, name=f"{self.name}-rev", directed=self.directed
+        )
+
+    def copy(self, name: str | None = None) -> "Graph":
+        """Deep copy (fresh CSR arrays, same epoch)."""
+        return Graph(
+            indptr=self.indptr.copy(),
+            indices=self.indices.copy(),
+            weights=self.weights.copy(),
+            name=name or self.name,
+            directed=self.directed,
+            meta=dict(self.meta),
+            epoch=self.epoch,
         )
 
     def with_weights(self, weights: np.ndarray, name: str | None = None) -> "Graph":

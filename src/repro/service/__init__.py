@@ -14,7 +14,8 @@ answers "one source, one run", this package serves *query traffic*:
 :mod:`~repro.service.planner`    coalesces pending queries, routes
                                  exact vs approximate under a latency budget
 :mod:`~repro.service.server`     the synchronous request queue tying it all
-                                 together, with latency percentiles
+                                 together, with latency percentiles and the
+                                 ``mutate()`` entry point for dynamic graphs
 ==========================  =================================================
 
 Entry points::
@@ -24,6 +25,7 @@ Entry points::
     res = batch_delta_stepping(graph, sources=[0, 7, 42])   # K×n distances
     svc = QueryService(graph)
     print(svc.query(source=0, target=99).distance)
+    svc.mutate(reweights=[(0, 99, 0.5)])   # repairs hot cache entries in place
 """
 
 from __future__ import annotations
@@ -43,7 +45,7 @@ from .landmarks import (
     select_landmarks,
 )
 from .planner import Query, QueryPlan, QueryPlanner
-from .server import QueryResponse, QueryService, ServiceStats
+from .server import MutationReport, QueryResponse, QueryService, ServiceStats
 
 __all__ = [
     "BatchSSSPResult",
@@ -62,5 +64,6 @@ __all__ = [
     "QueryPlanner",
     "QueryService",
     "QueryResponse",
+    "MutationReport",
     "ServiceStats",
 ]

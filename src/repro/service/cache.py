@@ -2,9 +2,13 @@
 
 One SSSP run answers *every* point query from its source, so the natural
 cache unit is the whole distance array.  Keys combine the graph identity
-(``id`` plus a mutation epoch — see :meth:`DistanceCache.invalidate`),
-the source vertex, and the weight mode, because the same catalog graph is
-routinely queried under both unit and distribution weights.
+— ``id`` plus the graph's own :attr:`~repro.graphs.graph.Graph.epoch`
+counter, which :func:`repro.dynamic.apply_edge_updates` bumps on every
+mutation batch, so topology changes invalidate implicitly — the source
+vertex, and the weight mode, because the same catalog graph is routinely
+queried under both unit and distribution weights.  A manual epoch
+(:meth:`DistanceCache.invalidate`) remains for in-place array mutations
+that bypass the mutation API.
 
 Cached arrays are stored read-only: handing out a mutable view of a
 shared answer would let one caller corrupt every later hit.
@@ -53,13 +57,16 @@ class DistanceCache:
 
     Thread-safe (one lock around the ordered map — lookups are tiny next
     to the SSSP runs they save).  Graph identity is ``id(graph)`` paired
-    with an epoch counter; :meth:`invalidate` bumps the epoch so every
-    entry of a mutated graph mismatches at once, and a ``weakref.finalize``
-    per graph drops its entries when the graph is garbage-collected (which
-    also protects against ``id`` reuse).  The finalize callback can fire
-    from the garbage collector at any allocation point — possibly while
-    this very cache holds its lock — so it only *enqueues* the dead id;
-    the locked public methods purge the queue.
+    with two epochs: the graph's own ``epoch`` attribute (bumped by the
+    mutation API, so every pre-mutation entry mismatches at once with no
+    call into the cache) and a cache-local manual epoch that
+    :meth:`invalidate` bumps for raw in-place mutations.  A
+    ``weakref.finalize`` per graph drops its entries when the graph is
+    garbage-collected (which also protects against ``id`` reuse).  The
+    finalize callback can fire from the garbage collector at any
+    allocation point — possibly while this very cache holds its lock — so
+    it only *enqueues* the dead id; the locked public methods purge the
+    queue.
     """
 
     def __init__(self, capacity: int = 128):
@@ -77,14 +84,14 @@ class DistanceCache:
 
     # -- graph identity ----------------------------------------------------
 
-    def _graph_token(self, graph: Graph) -> tuple[int, int]:
+    def _graph_token(self, graph: Graph) -> tuple[int, int, int]:
         gid = id(graph)
-        epoch = self._epochs.get(gid)
-        if epoch is None:
-            epoch = 0
-            self._epochs[gid] = epoch
+        manual = self._epochs.get(gid)
+        if manual is None:
+            manual = 0
+            self._epochs[gid] = manual
             weakref.finalize(graph, self._dead_gids.append, gid)
-        return gid, epoch
+        return gid, getattr(graph, "epoch", 0), manual
 
     def _purge_dead(self) -> None:
         """Drop entries of collected graphs (called under the lock)."""
@@ -129,10 +136,15 @@ class DistanceCache:
         return dist
 
     def invalidate(self, graph: Graph) -> int:
-        """Drop every entry of *graph* (call after mutating it in place).
+        """Drop every entry of *graph* (call after raw in-place mutation).
 
-        Returns the number of entries dropped.  The graph's epoch is
+        Mutations through :func:`repro.dynamic.apply_edge_updates` do not
+        need this — they bump ``graph.epoch``, which is part of the key.
+        Returns the number of entries dropped.  The manual epoch is
         bumped, so any concurrent holder of the old token also misses.
+        Only *real* invalidations — calls that actually dropped entries —
+        are counted in :class:`CacheStats`, so the counter stays truthful
+        for graphs the cache has never seen.
         """
         with self._lock:
             self._purge_dead()
@@ -142,8 +154,32 @@ class DistanceCache:
             stale = [k for k in self._entries if k[0] == gid]
             for key in stale:
                 del self._entries[key]
-            self._invalidations += 1
+            if stale:
+                self._invalidations += 1
             return len(stale)
+
+    def take_entries(self, graph: Graph) -> dict[tuple[int, str], np.ndarray]:
+        """Remove and return *graph*'s **current-epoch** entries as
+        ``{(source, weight_mode): distances}``.
+
+        The mutation path harvests the hot entries *before* mutating,
+        repairs them against the new topology, and re-puts them under the
+        new epoch — answers move forward rather than going stale, so this
+        is not counted as an invalidation.  Only entries matching the
+        graph's *current* token qualify: anything parked under an older
+        epoch describes a graph that no longer exists and would poison a
+        repair if handed out as a baseline, so it is dropped here
+        instead.  The returned arrays are the stored read-only views.
+        """
+        with self._lock:
+            self._purge_dead()
+            token = self._graph_token(graph)
+            taken: dict[tuple[int, str], np.ndarray] = {}
+            for key in [k for k in self._entries if k[0] == token[0]]:
+                entry = self._entries.pop(key)
+                if key[:3] == token:
+                    taken[(key[3], key[4])] = entry
+            return taken
 
     def clear(self) -> None:
         """Drop all entries and reset the counters."""

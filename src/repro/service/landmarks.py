@@ -113,12 +113,31 @@ class LandmarkIndex:
     dist_to:
         ``dist_to[j, v] = d(v → landmarks[j])`` (same array as
         ``dist_from`` for undirected graphs).
+
+    Indexes built with :meth:`build` stay bound to their graph and
+    support the *lazy rebuild* policy for dynamic graphs: a mutation
+    marks the index stale (:meth:`mark_stale`, an O(1) flag flip), and
+    the distance tables are re-solved only when the next approximate
+    answer actually needs them (:meth:`ensure_fresh`).  The landmark
+    *selection* is kept — re-selecting on every batch would churn the
+    tables for marginal quality — only the two batch solves repeat.
     """
 
-    def __init__(self, landmarks: np.ndarray, dist_from: np.ndarray, dist_to: np.ndarray):
+    def __init__(
+        self,
+        landmarks: np.ndarray,
+        dist_from: np.ndarray,
+        dist_to: np.ndarray,
+        graph: Graph | None = None,
+        delta: float | None = None,
+    ):
         self.landmarks = np.asarray(landmarks, dtype=np.int64)
         self.dist_from = dist_from
         self.dist_to = dist_to
+        self._graph = graph
+        self._delta = delta
+        self._stale = False
+        self.rebuilds = 0
 
     @classmethod
     def build(
@@ -136,11 +155,49 @@ class LandmarkIndex:
             dist_to = batch_delta_stepping(graph.reverse(), landmarks, delta=delta).distances
         else:
             dist_to = dist_from
-        return cls(landmarks, dist_from, dist_to)
+        return cls(landmarks, dist_from, dist_to, graph=graph, delta=delta)
 
     @property
     def num_landmarks(self) -> int:
         return len(self.landmarks)
+
+    # -- staleness (dynamic graphs) ----------------------------------------
+
+    @property
+    def stale(self) -> bool:
+        """True when the bound graph mutated after the last table solve."""
+        return self._stale
+
+    def mark_stale(self) -> None:
+        """Note a graph mutation; tables rebuild lazily on next use."""
+        self._stale = True
+
+    def ensure_fresh(self) -> bool:
+        """Re-solve the distance tables if stale; returns True on a rebuild.
+
+        The lazy half of the rebuild policy: mutation batches stay cheap
+        and the (two batch solves) rebuild cost lands on the first
+        approximate answer that needs current tables.  Raises
+        ``RuntimeError`` for a stale index that was constructed directly
+        without a bound graph — it has nothing to rebuild from.
+        """
+        if not self._stale:
+            return False
+        if self._graph is None:
+            raise RuntimeError(
+                "stale LandmarkIndex has no bound graph to rebuild from; "
+                "construct with LandmarkIndex.build() to enable lazy rebuilds"
+            )
+        self.dist_from = batch_delta_stepping(self._graph, self.landmarks, delta=self._delta).distances
+        if self._graph.directed:
+            self.dist_to = batch_delta_stepping(
+                self._graph.reverse(), self.landmarks, delta=self._delta
+            ).distances
+        else:
+            self.dist_to = self.dist_from
+        self._stale = False
+        self.rebuilds += 1
+        return True
 
     def upper_bound(self, source: int, target: int) -> float:
         """``min_L d(s→L) + d(L→t)`` — the length of a real s→L→t walk."""

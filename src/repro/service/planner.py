@@ -101,6 +101,16 @@ class QueryPlanner:
             return None
         return self._ms_per_source * num_sources
 
+    def note_mutation(self) -> None:
+        """Drop the calibrated cost model after a graph mutation.
+
+        Observed per-source solve times are a function of the topology;
+        once the graph changes they may mispredict in either direction,
+        so the planner returns to uncalibrated routing (always exact)
+        until the server feeds it fresh observations.
+        """
+        self._ms_per_source = None
+
     # -- planning ----------------------------------------------------------
 
     def plan(self, queries, cache=None, graph=None, weight_mode: str = "unit", has_landmarks: bool = False) -> QueryPlan:

@@ -7,11 +7,17 @@ landmark fallbacks (:mod:`repro.service.landmarks`) — and returns every
 response in submission order.  ``query`` wraps submit+drain for the
 interactive one-off case.
 
+Graphs served here are *mutable*: :meth:`QueryService.mutate` applies an
+edge-update batch through :mod:`repro.dynamic`, repairs the hot cached
+distance vectors incrementally (no cold recompute), marks the landmark
+index stale for lazy rebuild, and resets the planner's cost model.  The
+cache keys on ``graph.epoch``, so anything not repaired simply misses.
+
 The service keeps per-query latency samples and exposes throughput
 percentiles (p50/p90/p99), which the ``serve-bench`` CLI command and the
 SERVE experiment report.  Everything is synchronous and single-threaded
-by design: this PR establishes the engine and the interfaces; sharding
-and async dispatch layer on top of exactly this surface.
+by design: sharding and async dispatch layer on top of exactly this
+surface.
 """
 
 from __future__ import annotations
@@ -21,6 +27,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..dynamic.incremental import repair_sssp
+from ..dynamic.mutations import AppliedUpdates, apply_edge_updates
 from ..graphs.graph import Graph
 from ..sssp.delta import choose_delta
 from .batch import batch_delta_stepping
@@ -28,7 +36,7 @@ from .cache import CacheStats, DistanceCache
 from .landmarks import LandmarkIndex
 from .planner import Query, QueryPlan, QueryPlanner
 
-__all__ = ["QueryResponse", "ServiceStats", "QueryService"]
+__all__ = ["QueryResponse", "MutationReport", "ServiceStats", "QueryService"]
 
 
 @dataclass(frozen=True)
@@ -51,6 +59,29 @@ class QueryResponse:
 
 
 @dataclass(frozen=True)
+class MutationReport:
+    """What one :meth:`QueryService.mutate` call did.
+
+    ``repaired_entries`` cached distance vectors were patched in place by
+    the incremental kernel and live on under the new epoch;
+    ``dropped_entries`` (other weight modes, or ``repair="drop"``) were
+    discarded and will re-solve on next miss.
+    """
+
+    applied: AppliedUpdates
+    repaired_entries: int
+    dropped_entries: int
+    epoch: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MutationReport<{self.applied.num_updates} updates, "
+            f"repaired={self.repaired_entries}, dropped={self.dropped_entries}, "
+            f"epoch={self.epoch}>"
+        )
+
+
+@dataclass(frozen=True)
 class ServiceStats:
     """Aggregate service counters + latency percentiles."""
 
@@ -64,6 +95,8 @@ class ServiceStats:
     latency_p90_ms: float
     latency_p99_ms: float
     throughput_qps: float
+    mutations_applied: int = 0
+    entries_repaired: int = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -79,8 +112,9 @@ class QueryService:
     Parameters
     ----------
     graph:
-        The (immutable while serving) graph.  After mutating it in place,
-        call :meth:`invalidate`.
+        The served graph.  Mutate it through :meth:`mutate` (which
+        repairs cached answers in place); after a *raw* in-place edit
+        call :meth:`invalidate` instead.
     weight_mode:
         Cache-key tag for the weight configuration of *graph*.
     delta:
@@ -109,6 +143,7 @@ class QueryService:
     ):
         self.graph = graph
         self.weight_mode = weight_mode
+        self._delta_auto = delta is None
         self.delta = delta if delta is not None else choose_delta(graph)
         self.cache = cache if cache is not None else DistanceCache()
         self.landmarks = landmarks
@@ -123,6 +158,8 @@ class QueryService:
         self._approximate = 0
         self._batches_solved = 0
         self._sources_solved = 0
+        self._mutations = 0
+        self._entries_repaired = 0
 
     # -- request intake ----------------------------------------------------
 
@@ -219,6 +256,7 @@ class QueryService:
 
     def _answer_approximate(self, q: Query, latency_ms: float) -> QueryResponse:
         self._approximate += 1
+        self.landmarks.ensure_fresh()  # lazy rebuild after mutations
         if q.target is None:
             # one-to-many: upper bounds to every vertex via the landmarks
             ub = np.min(
@@ -235,10 +273,77 @@ class QueryService:
             latency_ms=latency_ms, bounds=(est.lower, est.upper),
         )
 
+    # -- mutation ----------------------------------------------------------
+
+    def mutate(
+        self,
+        inserts=None,
+        deletes=None,
+        reweights=None,
+        repair: str = "hot",
+        strict: bool = True,
+    ) -> MutationReport:
+        """Apply one edge-update batch to the served graph.
+
+        The service's cached entries are harvested *before* the mutation,
+        the batch is applied through
+        :func:`repro.dynamic.apply_edge_updates` (bumping the epoch the
+        cache keys on), and then — under the default ``repair="hot"``
+        policy — every harvested entry of this service's weight mode is
+        repaired incrementally (:func:`repro.dynamic.repair_sssp`) and
+        re-inserted under the new epoch, so hot sources keep answering
+        from cache with zero recompute.  ``repair="drop"`` discards them
+        instead (they re-solve on next miss).  Entries of *other* weight
+        modes are always dropped: their weight arrays no longer describe
+        this graph.
+
+        The landmark index (if any) is marked stale and rebuilds lazily
+        on the next approximate answer; the planner's calibrated cost
+        model resets.  Pending (submitted, undrained) queries are
+        answered against the post-mutation graph.
+        """
+        if repair not in ("hot", "drop"):
+            raise ValueError(f"unknown repair policy {repair!r}; known: hot, drop")
+        harvested = self.cache.take_entries(self.graph)
+        try:
+            applied = apply_edge_updates(
+                self.graph, inserts=inserts, deletes=deletes, reweights=reweights, strict=strict
+            )
+        except Exception:
+            # batch rejected before the graph changed (epoch untouched):
+            # the harvested entries are still valid — put them back
+            for (source, wmode), dist in harvested.items():
+                self.cache.put(self.graph, source, wmode, dist)
+            raise
+        if self._delta_auto:
+            self.delta = choose_delta(self.graph)
+        repaired = 0
+        for (source, wmode), dist in harvested.items():
+            if repair != "hot" or wmode != self.weight_mode:
+                continue
+            result = repair_sssp(self.graph, source, dist, applied, delta=self.delta)
+            self.cache.put(self.graph, source, wmode, result.distances)
+            repaired += 1
+        if self.landmarks is not None:
+            self.landmarks.mark_stale()
+        self.planner.note_mutation()
+        self._mutations += 1
+        self._entries_repaired += repaired
+        return MutationReport(
+            applied=applied,
+            repaired_entries=repaired,
+            dropped_entries=len(harvested) - repaired,
+            epoch=self.graph.epoch,
+        )
+
     # -- maintenance & reporting -------------------------------------------
 
     def invalidate(self) -> int:
-        """Drop cached answers after the graph mutated in place."""
+        """Drop cached answers after a *raw* in-place graph mutation.
+
+        Batches applied through :meth:`mutate` never need this — the
+        epoch keying retires old entries automatically.
+        """
         return self.cache.invalidate(self.graph)
 
     def stats(self) -> ServiceStats:
@@ -259,6 +364,8 @@ class QueryService:
             latency_p90_ms=float(p90),
             latency_p99_ms=float(p99),
             throughput_qps=qps,
+            mutations_applied=self._mutations,
+            entries_repaired=self._entries_repaired,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

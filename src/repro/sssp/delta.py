@@ -26,8 +26,10 @@ def dijkstra_equivalent_delta(graph: Graph) -> float:
     """
     if graph.has_unit_weights():
         return 1.0
-    w = graph.weights
-    return float(w[w > 0].min()) if len(w) else 1.0
+    positive = graph.weights[graph.weights > 0]
+    # all-zero weights leave no positive minimum; Δ=1.0 keeps every
+    # solver valid (all distances are 0, bucket 0 holds everything)
+    return float(positive.min()) if len(positive) else 1.0
 
 
 def bellman_ford_equivalent_delta(graph: Graph) -> float:
@@ -41,13 +43,16 @@ def bellman_ford_equivalent_delta(graph: Graph) -> float:
 
 def _meyer_sanders_delta(graph: Graph) -> float:
     """Δ = Θ(1/d): max weight over average out-degree."""
+    if graph.max_weight <= 0:
+        return 1.0  # zero-weight graph: any positive Δ degenerates cleanly
     deg = graph.out_degree()
     avg_deg = float(deg.mean()) if len(deg) else 1.0
     return max(graph.max_weight / max(avg_deg, 1.0), 1e-9)
 
 
 def _average_weight_delta(graph: Graph) -> float:
-    return float(graph.weights.mean()) if graph.num_edges else 1.0
+    mean = float(graph.weights.mean()) if graph.num_edges else 1.0
+    return mean if mean > 0 else 1.0
 
 
 DELTA_STRATEGIES = {

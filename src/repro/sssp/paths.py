@@ -24,7 +24,11 @@ def predecessor_tree(graph: Graph, result: SSSPResult, atol: float = 1e-9) -> np
 
     Returns an ``int64`` array: ``-1`` for the source and for unreachable
     vertices; otherwise a vertex ``u`` with a tight edge ``u → v``.  Ties
-    resolve to the smallest ``u`` (deterministic output).
+    resolve to the smallest ``u`` (deterministic output).  The scan works
+    in COO order, so it is independent of CSR row ordering; consumers
+    that look up the tree edge's weight should use
+    :meth:`Graph.edge_weight` rather than a binary search for the same
+    reason.
     """
     d = result.distances
     n = graph.num_vertices
@@ -70,12 +74,17 @@ def reconstruct_path(graph: Graph, result: SSSPResult, target: int) -> list[int]
 
 
 def path_weight(graph: Graph, path: list[int]) -> float:
-    """Total weight along a vertex sequence (validates edges exist)."""
+    """Total weight along a vertex sequence (validates edges exist).
+
+    Uses :meth:`Graph.edge_weight` — a membership scan, not a binary
+    search — so adopted CSR structures with unsorted rows (e.g. via
+    ``Graph.from_matrix`` before canonicalization) are handled correctly
+    instead of falsely reporting a missing edge.
+    """
     total = 0.0
     for u, v in zip(path, path[1:]):
-        nbrs, wts = graph.neighbors(u)
-        pos = np.searchsorted(nbrs, v)
-        if pos >= len(nbrs) or nbrs[pos] != v:
+        w = graph.edge_weight(u, v)
+        if w is None:
             raise ValueError(f"no edge {u} -> {v} in graph")
-        total += float(wts[pos])
+        total += w
     return total

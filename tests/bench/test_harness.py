@@ -109,7 +109,7 @@ class TestReporting:
 
 class TestRegistry:
     def test_all_experiments_present(self):
-        assert {"FIG3", "FIG4", "SEC6C"} <= set(EXPERIMENTS)
+        assert {"FIG3", "FIG4", "SEC6C", "SERVE", "DYN"} <= set(EXPERIMENTS)
 
     def test_experiments_have_claims(self):
         for exp in EXPERIMENTS.values():
@@ -123,3 +123,15 @@ class TestRegistry:
     def test_run_experiment_unknown(self):
         with pytest.raises(KeyError):
             run_experiment("FIG99")
+
+    def test_dyn_batch_builder_bounded_on_dense_graph(self):
+        """A graph with no non-edges must not hang the insert sampler."""
+        from repro.bench.mutate_bench import build_update_batch
+        from repro.graphs import generators as gen
+
+        rng = np.random.default_rng(0)
+        inserts, deletes, reweights = build_update_batch(
+            gen.complete_graph(10), 0.2, rng
+        )
+        assert len(inserts[0]) == 0  # gave up cleanly
+        assert len(reweights[0]) > 0

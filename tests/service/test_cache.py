@@ -96,6 +96,40 @@ class TestInvalidation:
         cache.put(g, 0, "unit", np.array([0.0, 5.0, 10.0, 15.0]))
         assert cache.get(g, 0)[1] == 5.0
 
+    def test_invalidate_unknown_graph_not_counted(self):
+        """Regression: invalidating a graph the cache never saw inflated
+        the ``invalidations`` counter; only real invalidations count."""
+        cache = DistanceCache()
+        stranger = _graph(name="never-seen")
+        assert cache.invalidate(stranger) == 0
+        assert cache.stats().invalidations == 0
+
+    def test_invalidate_empty_known_graph_not_counted(self):
+        cache = DistanceCache()
+        g = _graph()
+        cache.get(g, 0)  # known (missed), but holds no entries
+        assert cache.invalidate(g) == 0
+        assert cache.stats().invalidations == 0
+
+    def test_invalidate_with_entries_counted_once(self):
+        cache = DistanceCache()
+        g = _graph()
+        cache.put(g, 0, "unit", np.zeros(4))
+        cache.put(g, 1, "unit", np.zeros(4))
+        assert cache.invalidate(g) == 2
+        assert cache.stats().invalidations == 1
+
+    def test_epoch_keying_invalidates_implicitly(self):
+        """The mutation API bumps ``graph.epoch``; old entries must miss
+        without any call into the cache."""
+        cache = DistanceCache()
+        g = _graph()
+        cache.put(g, 0, "unit", np.zeros(4))
+        g.epoch += 1
+        assert cache.get(g, 0) is None
+        cache.put(g, 0, "unit", np.ones(4))
+        assert cache.get(g, 0)[0] == 1.0
+
     def test_stats_counters(self):
         cache = DistanceCache()
         g = _graph()

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
 from repro.graphs.weights import assign_weights
 from repro.sssp import dijkstra
 from repro.sssp.delta import (
@@ -41,6 +42,29 @@ class TestDeltaHeuristics:
         g = assign_weights(gen.erdos_renyi(60, seed=2), "uniform", 0.1, 1.0)
         for name in DELTA_STRATEGIES:
             assert choose_delta(g, name) > 0
+
+    def test_zero_weight_graph_every_strategy(self):
+        """Regression: all-zero edge weights crashed ``dijkstra_equivalent_delta``
+        (empty ``w[w > 0]`` reduction) and produced Δ=0 from ``avg-weight``;
+        every strategy must yield a positive, usable Δ."""
+        g = Graph.from_edges([0, 1, 2], [1, 2, 3], [0.0, 0.0, 0.0], n=4)
+        for name in DELTA_STRATEGIES:
+            d = choose_delta(g, name)
+            assert d > 0, f"strategy {name} returned non-positive delta {d}"
+            r = fused_delta_stepping(g, 0, d)
+            assert np.array_equal(r.distances, [0.0, 0.0, 0.0, 0.0])
+
+    def test_zero_weight_graph_auto(self):
+        g = Graph.from_edges([0, 1], [1, 2], [0.0, 0.0], n=3)
+        d = choose_delta(g, "auto")
+        assert d > 0
+        assert np.array_equal(
+            fused_delta_stepping(g, 0, d).distances, dijkstra(g, 0).distances
+        )
+
+    def test_dijkstra_equivalent_ignores_zero_weights_among_positive(self):
+        g = Graph.from_edges([0, 1], [1, 2], [0.0, 0.5], n=3)
+        assert dijkstra_equivalent_delta(g) == 0.5
 
     def test_unknown_strategy(self):
         with pytest.raises(ValueError) as excinfo:

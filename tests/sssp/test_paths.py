@@ -97,6 +97,50 @@ class TestReconstructPath:
         with pytest.raises(ValueError):
             path_weight(diamond_graph, [0, 3])
 
+    def test_path_weight_on_unsorted_rows(self):
+        """Regression: ``path_weight`` binary-searched each row, silently
+        reporting "no edge" for valid edges when the CSR rows were
+        unsorted (hand-built or adopted structures)."""
+        g = Graph(
+            indptr=np.array([0, 2, 3, 3]),
+            indices=np.array([2, 1, 2]),  # row 0 targets [2, 1] — unsorted
+            weights=np.array([5.0, 1.0, 1.0]),
+        )
+        assert g.edge_weight(0, 1) == 1.0
+        assert g.edge_weight(0, 2) == 5.0
+        assert path_weight(g, [0, 1, 2]) == 2.0
+        assert path_weight(g, [0, 2]) == 5.0
+        with pytest.raises(ValueError):
+            path_weight(g, [1, 0])
+
+    def test_unsorted_rows_round_trip_reconstruction(self):
+        """The full chain — solve, predecessor tree, reconstruct, weigh —
+        works on a graph whose rows were never canonicalized."""
+        rng = np.random.default_rng(3)
+        n, m = 40, 160
+        sorted_g = Graph.from_edges(
+            rng.integers(0, n, m), rng.integers(0, n, m),
+            rng.uniform(0.1, 1.0, m), n=n,
+        )
+        perm_g = Graph(
+            indptr=sorted_g.indptr.copy(),
+            indices=sorted_g.indices.copy(),
+            weights=sorted_g.weights.copy(),
+        )
+        # shuffle every row in place
+        for v in range(n):
+            lo, hi = perm_g.indptr[v], perm_g.indptr[v + 1]
+            p = rng.permutation(hi - lo)
+            perm_g.indices[lo:hi] = perm_g.indices[lo:hi][p]
+            perm_g.weights[lo:hi] = perm_g.weights[lo:hi][p]
+        assert not perm_g.has_canonical_rows() or perm_g.num_edges < 2
+        r = delta_stepping(perm_g, 0, 0.5)
+        assert np.array_equal(r.distances, delta_stepping(sorted_g, 0, 0.5).distances)
+        for target in range(n):
+            path = reconstruct_path(perm_g, r, target)
+            if np.isfinite(r.distances[target]):
+                assert np.isclose(path_weight(perm_g, path), r.distances[target])
+
     @given(st.integers(0, 2**31 - 1), st.integers(2, 30))
     @settings(max_examples=20, deadline=None)
     def test_every_reached_target_reconstructs(self, seed, n):

@@ -18,6 +18,7 @@ FAST_EXAMPLES = [
     "translation_pipeline.py",
     "road_network_routing.py",
     "query_service.py",
+    "dynamic_updates.py",
 ]
 
 
@@ -29,7 +30,7 @@ def test_example_runs(name, capsys):
 
 
 def test_examples_inventory_complete():
-    """At least the six documented examples exist and are executable."""
+    """At least the seven documented examples exist and are executable."""
     names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
     assert {
         "quickstart.py",
@@ -38,6 +39,7 @@ def test_examples_inventory_complete():
         "social_network_analysis.py",
         "parallel_scaling.py",
         "query_service.py",
+        "dynamic_updates.py",
     } <= names
 
 
