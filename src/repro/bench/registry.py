@@ -20,6 +20,7 @@ from .figures import (
 )
 from .mutate_bench import mutation_repair_series, render_mutation_repair
 from .service_bench import render_service_throughput, service_throughput_series
+from .step_bench import render_stepping_portfolio, stepping_portfolio_series
 from .workloads import suite_workloads
 
 __all__ = ["Experiment", "EXPERIMENTS", "run_experiment"]
@@ -75,6 +76,13 @@ EXPERIMENTS: dict[str, Experiment] = {
         claim="Incremental repair beats full recompute >=2x for small (<=1% of edges) update batches",
         run=lambda suite=None, **kw: mutation_repair_series(suite=suite, **kw),
         render=render_mutation_repair,
+    ),
+    "STEP": Experiment(
+        id="STEP",
+        paper_artifact="Extension (stepping portfolio)",
+        claim="No stepper dominates across graph families; the auto-tuner's pick is within 10% of the best measured per graph",
+        run=lambda suite=None, **kw: stepping_portfolio_series(suite_workloads(suite), **kw),
+        render=render_stepping_portfolio,
     ),
 }
 

@@ -42,15 +42,28 @@ def service_throughput_series(
     repeats: int = 3,
     seed: int = 7,
     verify: bool = True,
+    stepper: str | None = None,
+    autotune: bool = False,
 ) -> list[dict]:
-    """Per-graph loop-vs-service timings for the query workload."""
+    """Per-graph loop-vs-service timings for the query workload.
+
+    ``stepper`` pins the service's exact solves to one stepping-registry
+    algorithm; ``autotune`` lets the per-graph tuner pick instead (the
+    probe cost is paid inside the timed service run, as it would be in
+    production).
+    """
     workloads = workloads if workloads is not None else suite_workloads()
     rows = []
     for wl in workloads:
         sources = _workload_sources(wl, num_queries, seed)
 
+        def make_service():
+            return QueryService(
+                wl.graph, delta=wl.delta, stepper=stepper, autotune=autotune
+            )
+
         if verify:
-            svc = QueryService(wl.graph, delta=wl.delta)
+            svc = make_service()
             for s in sources:
                 svc.submit(Query(source=int(s)))
             responses = svc.drain()
@@ -65,7 +78,7 @@ def service_throughput_series(
                 fused_delta_stepping(wl.graph, int(s), wl.delta)
 
         def run_service():
-            svc = QueryService(wl.graph, delta=wl.delta)  # cold cache each run
+            svc = make_service()  # cold cache each run
             for s in sources:
                 svc.submit(Query(source=int(s)))
             svc.drain()

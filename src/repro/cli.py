@@ -7,13 +7,18 @@ utilities:
 fig3        regenerate Figure 3 (unfused vs fused sequential runtime)
 fig4        regenerate Figure 4 (task-parallel speedup; simulated by default)
 profile     regenerate the §VI.C operation-share breakdown
-run         one SSSP run with any implementation, printing the summary
+run         one SSSP run with any implementation or stepper, printing the summary
 query       answer distance queries through the service layer (cache + batch)
 serve-bench regenerate the SERVE experiment (batched vs looped throughput)
 mutate-bench regenerate the DYN experiment (incremental repair vs recompute)
+step-bench  regenerate the STEP experiment (stepping portfolio + tuner pick)
+steppers    list the stepping-algorithm registry and Δ strategies
 suite       list the dataset suite with structural statistics
 translate   show the IR translation pipeline + fusion report
 ==========  ==================================================================
+
+``run``, ``query``, and ``serve-bench`` take ``--stepper NAME`` to pin a
+stepping algorithm and ``--auto`` to let the per-graph auto-tuner pick.
 """
 
 from __future__ import annotations
@@ -40,6 +45,12 @@ def build_parser() -> argparse.ArgumentParser:
             sp.add_argument("--real", action="store_true", help="time real threads instead of the simulated schedule")
             sp.add_argument("--threads", type=int, nargs="+", default=[2, 4])
 
+    def add_stepper_flags(sp):
+        sp.add_argument("--stepper", default=None,
+                        help="pin a stepping-registry algorithm (see `steppers`)")
+        sp.add_argument("--auto", action="store_true",
+                        help="let the per-graph auto-tuner pick the stepper")
+
     sp = sub.add_parser("run", help="run one SSSP configuration")
     sp.add_argument("graph", help="dataset name (see `suite`)")
     sp.add_argument("--method", default="fused")
@@ -47,6 +58,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--delta", type=float, default=None)
     sp.add_argument("--weights", default="unit")
     sp.add_argument("--verify", action="store_true", help="validate against Dijkstra")
+    add_stepper_flags(sp)
 
     sp = sub.add_parser("query", help="answer distance queries via the service layer")
     sp.add_argument("graph", help="dataset name (see `suite`)")
@@ -55,11 +67,26 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--weights", default="unit")
     sp.add_argument("--repeat", type=int, default=2, help="ask the same query N times (shows the cache working)")
     sp.add_argument("--landmarks", type=int, default=0, help="build an ALT index with N landmarks and print bounds")
+    add_stepper_flags(sp)
 
     sp = sub.add_parser("serve-bench", help="run the SERVE throughput experiment")
     sp.add_argument("--suite", default="ci", choices=["ci", "paper"], help="graph suite (default: ci)")
     sp.add_argument("--queries", type=int, default=64, help="queries per graph (default: 64)")
     sp.add_argument("--repeats", type=int, default=3)
+    add_stepper_flags(sp)
+
+    sp = sub.add_parser("step-bench", help="run the STEP stepping-portfolio experiment")
+    sp.add_argument("--suite", default="ci", choices=["ci", "paper"], help="graph suite (default: ci)")
+    sp.add_argument("--repeats", type=int, default=3)
+    sp.add_argument("--smoke", action="store_true",
+                    help="fast CI mode: two smallest suite graphs, one repeat")
+
+    sp = sub.add_parser("steppers", help="list the stepping-algorithm registry")
+    sp.add_argument("--list", action="store_true",
+                    help="enumerate registered steppers and Δ strategies (the default mode)")
+    sp.add_argument("--probe", metavar="GRAPH", default=None,
+                    help="race the default candidates on a dataset and print the tuner report")
+    sp.add_argument("--weights", default="unit", help="weight mode for --probe")
 
     sp = sub.add_parser("mutate-bench", help="run the DYN incremental-repair experiment")
     sp.add_argument("--suite", default="ci", choices=["ci", "paper"], help="graph suite (default: ci)")
@@ -94,7 +121,26 @@ def _cmd_run(args) -> int:
 
     wl = workload_for(args.graph, weights=args.weights)
     source = args.source if args.source is not None else wl.source
-    result = delta_stepping(wl.graph, source, args.delta, method=args.method)
+    if args.auto or args.stepper:
+        from .stepping import best_stepper, get_stepper
+
+        if args.stepper:
+            name = args.stepper  # a pin beats the tuner
+        else:
+            name = best_stepper(wl.graph)
+            print(f"{'auto-tuned':14s} {name}")
+        stepper = get_stepper(name)
+        kwargs = {}
+        if args.delta is not None:
+            # only steppers that advertise a Δ knob take one
+            if "delta" in stepper.default_params(wl.graph):
+                kwargs["delta"] = args.delta
+            else:
+                print(f"warning: stepper {name!r} takes no delta; --delta ignored",
+                      file=sys.stderr)
+        result = stepper.solve(wl.graph, source, **kwargs)
+    else:
+        result = delta_stepping(wl.graph, source, args.delta, method=args.method)
     for k, v in result.summary().items():
         print(f"{k:14s} {v}")
     if args.verify:
@@ -110,7 +156,10 @@ def _cmd_query(args) -> int:
     wl = workload_for(args.graph, weights=args.weights)
     source = args.source if args.source is not None else wl.source
     landmarks = LandmarkIndex.build(wl.graph, args.landmarks) if args.landmarks else None
-    svc = QueryService(wl.graph, weight_mode=args.weights, landmarks=landmarks)
+    svc = QueryService(
+        wl.graph, weight_mode=args.weights, landmarks=landmarks,
+        stepper=args.stepper, autotune=args.auto,
+    )
     for _ in range(max(args.repeat, 1)):
         resp = svc.query(source, args.target)
         origin = "cache" if resp.from_cache else "batch solve"
@@ -139,7 +188,61 @@ def _cmd_query(args) -> int:
 def _cmd_serve_bench(args) -> int:
     from .bench.registry import run_experiment
 
-    print(run_experiment("SERVE", suite=args.suite, num_queries=args.queries, repeats=args.repeats))
+    print(run_experiment(
+        "SERVE", suite=args.suite, num_queries=args.queries, repeats=args.repeats,
+        stepper=args.stepper, autotune=args.auto,
+    ))
+    return 0
+
+
+def _cmd_step_bench(args) -> int:
+    from .bench.registry import EXPERIMENTS
+    from .bench.step_bench import render_stepping_portfolio, stepping_portfolio_series
+    from .bench.workloads import suite_workloads
+
+    workloads = suite_workloads(args.suite)
+    repeats = args.repeats
+    if args.smoke:
+        workloads = workloads[:2]
+        repeats = 1
+    rows = stepping_portfolio_series(workloads, repeats=repeats)
+    print(render_stepping_portfolio(rows))
+    print(f"claim: {EXPERIMENTS['STEP'].claim}")
+    return 0
+
+
+def _cmd_steppers(args) -> int:
+    from .bench.reporting import format_table
+    from .sssp.delta import DELTA_STRATEGIES
+    from .stepping import STEPPERS
+
+    if args.probe is not None:
+        from .bench.workloads import workload_for
+        from .stepping import AutoTuner
+
+        wl = workload_for(args.probe, weights=args.weights)
+        report = AutoTuner().probe(wl.graph)
+        print(f"Auto-tuner probe of {wl.name} "
+              f"(sources {list(report.sources)}, epoch {report.epoch}):\n")
+        rows = [
+            {"stepper": r.stepper, "ms_per_source": r.ms_per_source,
+             "pick": "*" if r.stepper == report.best else ""}
+            for r in sorted(report.rows, key=lambda r: r.ms_per_source)
+        ]
+        print(format_table(rows, floatfmt=".3f"))
+        print(f"\nbest_stepper -> {report.best}")
+        return 0
+
+    rows = [
+        {"name": s.name, "kind": s.kind,
+         "resolve": "yes" if s.supports_resolve else "no",
+         "description": s.description}
+        for s in STEPPERS.values()
+    ]
+    print("Stepping-algorithm registry (repro.stepping.STEPPERS):\n")
+    print(format_table(rows))
+    print("\nΔ-selection strategies (repro.sssp.delta.DELTA_STRATEGIES): "
+          + ", ".join(["auto", *DELTA_STRATEGIES]))
     return 0
 
 
@@ -200,6 +303,8 @@ def main(argv: list[str] | None = None) -> int:
         "query": _cmd_query,
         "serve-bench": _cmd_serve_bench,
         "mutate-bench": _cmd_mutate_bench,
+        "step-bench": _cmd_step_bench,
+        "steppers": _cmd_steppers,
         "suite": _cmd_suite,
         "translate": _cmd_translate,
     }[args.command]

@@ -180,6 +180,7 @@ def repair_sssp(
     updates: AppliedUpdates,
     delta: float | None = None,
     validate: bool = False,
+    stepper: str | None = None,
 ) -> RepairResult:
     """Repair a cached distance vector after one applied update batch.
 
@@ -201,6 +202,14 @@ def repair_sssp(
     validate:
         Also run the full recompute and raise ``RuntimeError`` on any
         mismatch (for tests and paranoid callers).
+    stepper:
+        Run the repair waves on a :data:`repro.stepping.STEPPERS`
+        algorithm instead of the built-in Δ-bucket loop — any member
+        whose ``supports_resolve`` is true (``"rho"``, ``"radius"``,
+        ``"delta-star"``).  The seeded state is identical either way;
+        only the re-relaxation schedule changes, so the repaired
+        distances do not.  ``None`` (and ``"delta"``) keep the built-in
+        loop.
 
     Returns a :class:`RepairResult` whose ``distances`` are bit-identical
     to ``fused_delta_stepping(graph, source, delta).distances``.
@@ -263,8 +272,23 @@ def repair_sssp(
 
     seed_count = int(dirty.sum())
 
-    # -- repair waves: dirty-driven delta-stepping --------------------------
-    if dirty.any():
+    # -- repair waves: dirty-driven re-relaxation ---------------------------
+    if dirty.any() and stepper not in (None, "delta"):
+        # tuned-stepper repair: the seeded (d, dirty) state is exactly the
+        # resolve() contract of the stepping framework
+        from ..stepping import get_stepper
+
+        s = get_stepper(stepper)
+        if not s.supports_resolve:
+            raise ValueError(
+                f"stepper {stepper!r} cannot run seeded repair (no resolve support)"
+            )
+        c = s.resolve(graph, d, dirty)
+        counters["buckets"] += c["steps"]
+        counters["phases"] += c["phases"]
+        counters["relaxations"] += c["relaxations"]
+        counters["updates"] += c["updates"]
+    elif dirty.any():
         (ALp, ALi, ALw), (AHp, AHi, AHw) = split_csr_light_heavy(graph, delta)
 
         def relax(indptr, indices, weights, frontier):

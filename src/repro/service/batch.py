@@ -50,6 +50,7 @@ __all__ = [
     "batch_delta_stepping",
     "batch_fused_delta_stepping",
     "batch_graphblas_delta_stepping",
+    "batch_stepper_loop",
     "BATCH_METHODS",
 ]
 
@@ -307,10 +308,51 @@ def batch_graphblas_delta_stepping(graph: Graph, sources, delta: float = 1.0) ->
     )
 
 
+def batch_stepper_loop(graph: Graph, sources, stepper: str = "rho") -> BatchSSSPResult:
+    """K independent runs of a registered stepper, packaged as a batch.
+
+    The adapter that lets the multi-source engine dispatch to **any**
+    member of the :data:`repro.stepping.STEPPERS` portfolio: no shared
+    waves (each stepper owns its schedule), but the same
+    :class:`BatchSSSPResult` surface, so the service planner can route a
+    tuned stepper choice through the existing execution path unchanged.
+    Counters aggregate across the K runs; phases here count per-source
+    waves (there is no batching win to report).
+    """
+    from ..stepping import get_stepper
+
+    src = _check_sources(graph, sources)
+    s = get_stepper(stepper)
+    K, n = len(src), graph.num_vertices
+    distances = np.full((K, n), INF, dtype=np.float64)
+    counters = {"buckets": 0, "phases": 0, "relaxations": 0, "updates": 0}
+    for k in range(K):
+        r = s.solve(graph, int(src[k]))
+        distances[k] = r.distances
+        counters["buckets"] += r.buckets_processed
+        counters["phases"] += r.phases
+        counters["relaxations"] += r.relaxations
+        counters["updates"] += r.updates
+    return BatchSSSPResult(
+        distances=distances,
+        sources=src,
+        delta=float("nan"),
+        method=f"batch-loop:{stepper}",
+        buckets_processed=counters["buckets"],
+        phases=counters["phases"],
+        relaxations=counters["relaxations"],
+        updates=counters["updates"],
+    )
+
+
 BATCH_METHODS = {
     "fused": batch_fused_delta_stepping,
     "graphblas": batch_graphblas_delta_stepping,
 }
+
+#: stepper names whose batched form *is* a native engine: classic
+#: delta-stepping batches through the shared-wave kernel, not a loop
+_STEPPER_BATCH_ALIASES = {"delta": "fused"}
 
 
 def batch_delta_stepping(
@@ -319,7 +361,7 @@ def batch_delta_stepping(
     delta: float | None = None,
     method: str = "fused",
 ) -> BatchSSSPResult:
-    """Run delta-stepping from all *sources* through shared relaxation waves.
+    """Run SSSP from all *sources*, batched where the method supports it.
 
     Parameters
     ----------
@@ -330,14 +372,23 @@ def batch_delta_stepping(
         own row).
     delta:
         Bucket width Δ; ``None`` selects it automatically
-        (:func:`repro.sssp.delta.choose_delta`).
+        (:func:`repro.sssp.delta.choose_delta`).  Ignored by
+        stepper-dispatched methods (each stepper picks its own knobs).
     method:
-        ``"fused"`` (throughput engine, default) or ``"graphblas"``
-        (matrix-kernel formulation).
+        ``"fused"`` (shared-wave throughput engine, default),
+        ``"graphblas"`` (matrix-kernel formulation), or any stepper from
+        the :data:`repro.stepping.STEPPERS` registry — ``"delta"`` maps
+        to the native fused engine, the rest run through
+        :func:`batch_stepper_loop`.
     """
-    if method not in BATCH_METHODS:
-        known = ", ".join(sorted(BATCH_METHODS))
-        raise ValueError(f"unknown batch method {method!r}; known: {known}")
-    if delta is None:
-        delta = choose_delta(graph)
-    return BATCH_METHODS[method](graph, sources, delta)
+    method = _STEPPER_BATCH_ALIASES.get(method, method)
+    if method in BATCH_METHODS:
+        if delta is None:
+            delta = choose_delta(graph)
+        return BATCH_METHODS[method](graph, sources, delta)
+    from ..stepping import STEPPERS
+
+    if method in STEPPERS:
+        return batch_stepper_loop(graph, sources, stepper=method)
+    known = ", ".join(dict.fromkeys([*sorted(BATCH_METHODS), *STEPPERS]))
+    raise ValueError(f"unknown batch method {method!r}; known: {known}")

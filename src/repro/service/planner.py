@@ -49,12 +49,16 @@ class QueryPlan:
     not re-fetch, both for honest hit counting and because a shared
     cache could evict between plan and execution); ``batches`` are
     source groups to hand to the batch engine; ``approximate`` sources
-    get landmark estimates.
+    get landmark estimates.  ``stepper`` is the planner's algorithm
+    choice for the exact solves (``None`` = the server's default batch
+    engine) — pinned by the caller or tuned per graph by the stepping
+    auto-tuner.
     """
 
     cached: dict[int, "np.ndarray"] = field(default_factory=dict)
     batches: list[np.ndarray] = field(default_factory=list)
     approximate: list[int] = field(default_factory=list)
+    stepper: str | None = None
 
     @property
     def num_exact_sources(self) -> int:
@@ -73,13 +77,25 @@ class QueryPlanner:
         *cumulative* predicted cost stays within it; once the round's
         budget is spent, remaining sources fall back to landmark
         estimates (when available).  ``None`` means always exact.
+    stepper:
+        Pin the exact-solve algorithm to one stepping-registry name
+        (stamped onto every plan).  ``None`` leaves the choice to the
+        tuned pick (:meth:`set_tuned_stepper`) or, failing that, the
+        server's default batch engine.
     """
 
-    def __init__(self, max_batch_size: int = 64, latency_budget_ms: float | None = None):
+    def __init__(
+        self,
+        max_batch_size: int = 64,
+        latency_budget_ms: float | None = None,
+        stepper: str | None = None,
+    ):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         self.max_batch_size = max_batch_size
         self.latency_budget_ms = latency_budget_ms
+        self._pinned_stepper = stepper
+        self._tuned_stepper: str | None = None
         # EWMA of per-source exact solve cost, calibrated by the server
         self._ms_per_source: float | None = None
 
@@ -107,9 +123,23 @@ class QueryPlanner:
         Observed per-source solve times are a function of the topology;
         once the graph changes they may mispredict in either direction,
         so the planner returns to uncalibrated routing (always exact)
-        until the server feeds it fresh observations.
+        until the server feeds it fresh observations.  The *tuned*
+        stepper choice falls with it (topology-dependent too); a pinned
+        choice survives — it encodes caller intent, not measurement.
         """
         self._ms_per_source = None
+        self._tuned_stepper = None
+
+    # -- stepper routing ----------------------------------------------------
+
+    def set_tuned_stepper(self, name: str | None) -> None:
+        """Install the auto-tuner's per-graph pick (cleared on mutation)."""
+        self._tuned_stepper = name
+
+    @property
+    def stepper(self) -> str | None:
+        """The effective exact-solve algorithm: pinned beats tuned."""
+        return self._pinned_stepper or self._tuned_stepper
 
     # -- planning ----------------------------------------------------------
 
@@ -119,7 +149,7 @@ class QueryPlanner:
         ``cache``/``graph`` enable the cache probe (either may be ``None``
         for a cold plan); ``has_landmarks`` enables the approximate route.
         """
-        plan = QueryPlan()
+        plan = QueryPlan(stepper=self.stepper)
         seen: dict[int, None] = {}
         budgets: dict[int, float] = {}
         for q in queries:

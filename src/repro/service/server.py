@@ -127,6 +127,20 @@ class QueryService:
     planner:
         Optional :class:`QueryPlanner`; defaults to batches of
         *max_batch_size* with *latency_budget_ms*.
+    stepper:
+        Pin exact solves to one stepping-registry algorithm (any name
+        accepted by :func:`repro.service.batch.batch_delta_stepping`,
+        e.g. ``"rho"``).  Forwarded to the planner.
+    autotune:
+        Let the stepping auto-tuner pick the exact-solve algorithm per
+        graph epoch: the first drain *that needs an exact solve* (and
+        the first after each mutation) probes the portfolio once and
+        installs the winner on the planner — cache-only drains never pay
+        the probe.  A pinned ``stepper`` beats the tuned pick.
+    tuner:
+        Optional pre-configured :class:`repro.stepping.AutoTuner`
+        (implies ``autotune``); pass a shared instance to pool probe
+        results across services.
     """
 
     def __init__(
@@ -140,6 +154,9 @@ class QueryService:
         max_batch_size: int = 64,
         latency_budget_ms: float | None = None,
         batch_method: str = "fused",
+        stepper: str | None = None,
+        autotune: bool = False,
+        tuner=None,
     ):
         self.graph = graph
         self.weight_mode = weight_mode
@@ -148,8 +165,17 @@ class QueryService:
         self.cache = cache if cache is not None else DistanceCache()
         self.landmarks = landmarks
         self.planner = planner if planner is not None else QueryPlanner(
-            max_batch_size=max_batch_size, latency_budget_ms=latency_budget_ms
+            max_batch_size=max_batch_size,
+            latency_budget_ms=latency_budget_ms,
+            stepper=stepper,
         )
+        if planner is not None and stepper is not None:
+            self.planner._pinned_stepper = stepper
+        if tuner is None and autotune:
+            from ..stepping import AutoTuner
+
+            tuner = AutoTuner()
+        self.tuner = tuner
         self.batch_method = batch_method
         self._pending: list[Query] = []
         self._latencies_ms: list[float] = []
@@ -197,6 +223,15 @@ class QueryService:
             weight_mode=self.weight_mode,
             has_landmarks=self.landmarks is not None,
         )
+        if self.tuner is not None and plan.batches and plan.stepper is None:
+            # tuned routing: probe once per graph epoch (the tuner caches),
+            # install the winner; a mutation clears it for re-tuning.  The
+            # probe only runs when the plan has exact solves to route —
+            # cache-only drains never pay it — and inside the timed round,
+            # so its cost shows in the latency stats it affects.
+            pick = self.tuner.best_stepper(self.graph)
+            self.planner.set_tuned_stepper(pick)
+            plan.stepper = pick
         # the plan carries the fetched cache hits (a later eviction — e.g.
         # by this round's own puts into a small shared cache — can't
         # invalidate an answer already in hand)
@@ -226,10 +261,11 @@ class QueryService:
     def _execute(self, plan: QueryPlan) -> dict[int, np.ndarray]:
         """Run the plan's batch solves; returns source → distance vector."""
         solved: dict[int, np.ndarray] = {}
+        method = plan.stepper or self.batch_method
         for batch in plan.batches:
             t0 = time.perf_counter()
             result = batch_delta_stepping(
-                self.graph, batch, delta=self.delta, method=self.batch_method
+                self.graph, batch, delta=self.delta, method=method
             )
             self.planner.record_solve(
                 len(batch), (time.perf_counter() - t0) * 1e3

@@ -37,8 +37,15 @@ def bellman_ford_equivalent_delta(graph: Graph) -> float:
 
     Any Δ strictly above the largest possible path weight works; we use
     ``n · max_weight + 1`` so every vertex lands in bucket 0 forever.
+    On huge weights that product overflows float64 to ``inf``, which no
+    solver accepts as a bucket width — clamp to the largest finite
+    float, which still exceeds every representable path weight (any path
+    summing past it is itself ``inf``, i.e. unreachable).
     """
-    return float(graph.num_vertices * max(graph.max_weight, 1.0) + 1.0)
+    delta = graph.num_vertices * max(graph.max_weight, 1.0) + 1.0
+    if not np.isfinite(delta):
+        return float(np.finfo(np.float64).max)
+    return float(delta)
 
 
 def _meyer_sanders_delta(graph: Graph) -> float:

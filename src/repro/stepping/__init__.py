@@ -1,0 +1,133 @@
+"""Generalized stepping algorithms: the Δ ↔ ρ ↔ radius spectrum, unified.
+
+The paper positions Δ-stepping between Dijkstra (Δ → min weight) and
+Bellman–Ford (Δ → ∞); this package generalizes that one dial into an
+algorithm *portfolio* behind a single step/relax contract, plus a tuner
+that picks per graph.  It is the repo's first pluggable-algorithm
+subsystem: future backends (sharded, GPU, distributed steppers) register
+here and every consumer — service planner, batch engine, dynamic repair,
+CLI, STEP bench — picks them up for free.
+
+Module map
+----------
+=====================================  =======================================
+:mod:`~repro.stepping.base`            the :class:`Stepper` contract
+                                       (solve/resolve), the shared relax
+                                       wave, and the :data:`STEPPERS`
+                                       registry every consumer enumerates
+:mod:`~repro.stepping.frontier`        :class:`LazyFrontier` — dense
+                                       lazy-batched priority frontier with
+                                       decrease-key-free updates
+:mod:`~repro.stepping.rho_stepping`    ρ-stepping: extract the ρ nearest
+                                       active vertices per step
+:mod:`~repro.stepping.radius_stepping` radius-stepping: per-vertex k-radius
+                                       precompute bounds each step
+:mod:`~repro.stepping.delta_star`      Δ*-stepping: sliding buckets with
+                                       lazy Bellman–Ford batching inside
+:mod:`~repro.stepping.autotune`        sampling auto-tuner: probe the
+                                       portfolio, fit per-graph costs,
+                                       expose the best pick
+=====================================  =======================================
+
+Entry points::
+
+    from repro.stepping import get_stepper, solve_with, AutoTuner
+
+    res = solve_with("rho", graph, source=0)          # any registry name
+    pick = AutoTuner().best_stepper(graph)            # tuned per graph
+    res = solve_with(pick, graph, source=0)
+
+The legacy implementations are registered alongside the new steppers
+("delta" = the paper's fused kernel, "graphblas", "dijkstra",
+"bellman-ford"), so the portfolio spans the whole repo.
+"""
+
+from __future__ import annotations
+
+from ..sssp.fused import fused_delta_stepping
+from ..sssp.graphblas_sssp import graphblas_delta_stepping
+from ..sssp.delta import choose_delta
+from ..sssp.reference import bellman_ford, dijkstra
+from ..sssp.result import SSSPResult
+from .autotune import DEFAULT_CANDIDATES, AutoTuner, ProbeRow, TuningReport, best_stepper
+from .base import (
+    STEPPERS,
+    FunctionStepper,
+    Stepper,
+    format_known,
+    get_stepper,
+    register_stepper,
+    stepper_names,
+)
+from .delta_star import DeltaStarStepper, default_delta_star, delta_star_stepping
+from .frontier import LazyFrontier
+from .radius_stepping import RadiusStepper, radius_stepping, vertex_radii
+from .rho_stepping import RhoStepper, default_rho, rho_stepping
+
+__all__ = [
+    "Stepper",
+    "FunctionStepper",
+    "STEPPERS",
+    "register_stepper",
+    "get_stepper",
+    "stepper_names",
+    "format_known",
+    "solve_with",
+    "LazyFrontier",
+    "rho_stepping",
+    "default_rho",
+    "RhoStepper",
+    "radius_stepping",
+    "vertex_radii",
+    "RadiusStepper",
+    "delta_star_stepping",
+    "default_delta_star",
+    "DeltaStarStepper",
+    "AutoTuner",
+    "TuningReport",
+    "ProbeRow",
+    "DEFAULT_CANDIDATES",
+    "best_stepper",
+]
+
+
+def solve_with(stepper: str, graph, source: int, **params) -> SSSPResult:
+    """Run SSSP with any registered stepper: ``solve_with("rho", g, 0)``."""
+    return get_stepper(stepper).solve(graph, source, **params)
+
+
+def _fused_auto(graph, source, delta=None, **kw):
+    return fused_delta_stepping(
+        graph, source, delta if delta is not None else choose_delta(graph), **kw
+    )
+
+
+def _graphblas_auto(graph, source, delta=None, **kw):
+    return graphblas_delta_stepping(
+        graph, source, delta if delta is not None else choose_delta(graph), **kw
+    )
+
+
+# -- registry assembly: new framework members + adopted legacy solvers -------
+
+register_stepper(RhoStepper())
+register_stepper(RadiusStepper())
+register_stepper(DeltaStarStepper())
+register_stepper(FunctionStepper(
+    "delta", _fused_auto,
+    description="classic fixed-grid delta-stepping, fused kernel (the paper's fast impl.)",
+    defaults={"delta": None},  # None = choose_delta; advertises the Δ knob
+))
+register_stepper(FunctionStepper(
+    "graphblas", _graphblas_auto,
+    description="classic delta-stepping, unfused GraphBLAS formulation (Fig. 2)",
+    defaults={"delta": None},
+))
+register_stepper(FunctionStepper(
+    "dijkstra", dijkstra,
+    description="binary-heap Dijkstra oracle (Python loop; trusted, slow)",
+))
+register_stepper(FunctionStepper(
+    "bellman-ford", bellman_ford,
+    description="edge-centric Bellman-Ford, one vectorized wave per round",
+))

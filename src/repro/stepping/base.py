@@ -1,0 +1,205 @@
+"""The stepping-algorithm contract and its registry.
+
+The paper treats Δ-stepping as a single algorithm; Dong, Gu, Sun & Zhang
+("Efficient Stepping Algorithms and Implementations for Parallel Shortest
+Paths", 2021) show it is one point in a *family*: every member repeats
+
+1. **step** — pick a batch of active vertices (a bucket, the ρ nearest,
+   a radius-bounded range …);
+2. **relax** — generate the batch's relaxation requests and min-merge
+   them into the tentative distances;
+3. re-activate whichever vertices improved.
+
+:class:`Stepper` pins that loop down as an interface.  The load-bearing
+method is :meth:`Stepper.resolve`: *run the schedule from an arbitrary
+seeded state* — tentative distances plus an active mask — to quiescence.
+``solve`` (fresh single-source run) is just ``resolve`` seeded with
+``{source: 0}``, and the dynamic layer's incremental repair is ``resolve``
+seeded with the dirty region, so one implementation serves both entry
+points.  Legacy solvers (the paper's fused kernel, the GraphBLAS form,
+Dijkstra, Bellman–Ford) are wrapped as steppers too, so the auto-tuner
+(:mod:`repro.stepping.autotune`) can race the whole portfolio.
+
+Discovery follows the ``DELTA_STRATEGIES`` idiom of
+:mod:`repro.sssp.delta`: one module-level registry (:data:`STEPPERS`),
+one accessor (:func:`get_stepper`) whose ``ValueError`` enumerates every
+member, and one CLI (``repro steppers --list``) rendering the same table.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..sssp.fused import _gather_candidates, _min_by_target
+from ..sssp.result import INF, SSSPResult
+
+__all__ = [
+    "Stepper",
+    "FunctionStepper",
+    "STEPPERS",
+    "register_stepper",
+    "get_stepper",
+    "stepper_names",
+    "format_known",
+    "relax_wave",
+    "new_counters",
+]
+
+
+def format_known(names) -> str:
+    """Render a registry's keys for an error message (shared idiom with
+    :func:`repro.sssp.delta.choose_delta`)."""
+    return ", ".join(names)
+
+
+def new_counters() -> dict:
+    """A fresh work-counter dict in :class:`~repro.sssp.result.SSSPResult`
+    vocabulary: ``steps`` are outer batches (buckets for Δ-steppers),
+    ``phases`` inner relaxation waves."""
+    return {"steps": 0, "phases": 0, "relaxations": 0, "updates": 0}
+
+
+def relax_wave(indptr, indices, weights, frontier, dist, counters) -> tuple[np.ndarray, np.ndarray]:
+    """One relaxation wave: all requests out of *frontier*, min-merged.
+
+    The shared relax half of the step/relax contract — the same fused
+    gather → per-target min → filtered scatter as the paper's kernel
+    (:func:`repro.sssp.fused.fused_delta_stepping`), operating in place
+    on *dist*.  Returns ``(improved_targets, their_new_distances)``.
+    """
+    targets, dists = _gather_candidates(indptr, indices, weights, frontier, dist)
+    if targets is None:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+    counters["relaxations"] += len(targets)
+    uts, ubest = _min_by_target(targets, dists)
+    improved = ubest < dist[uts]
+    uts, ubest = uts[improved], ubest[improved]
+    counters["updates"] += len(uts)
+    dist[uts] = ubest
+    return uts, ubest
+
+
+class Stepper(ABC):
+    """One member of the stepping-algorithm family.
+
+    Attributes
+    ----------
+    name:
+        Registry key (also the CLI / bench spelling).
+    kind:
+        ``"stepping"`` for the generalized-framework solvers,
+        ``"legacy"`` for wrapped pre-framework implementations.
+    description:
+        One-line summary for ``repro steppers --list``.
+    supports_resolve:
+        Whether :meth:`resolve` is implemented (the dynamic layer's
+        repair path requires it).
+    """
+
+    name: str = "?"
+    kind: str = "stepping"
+    description: str = ""
+    supports_resolve: bool = True
+
+    @abstractmethod
+    def solve(self, graph: Graph, source: int, **params) -> SSSPResult:
+        """Fresh single-source run; implementations share the
+        ``(graph, source)`` leading signature of :data:`repro.sssp.METHODS`."""
+
+    def resolve(self, graph: Graph, dist: np.ndarray, active: np.ndarray, **params) -> dict:
+        """Run the schedule from a seeded state to quiescence.
+
+        *dist* is modified in place; *active* is a boolean mask of
+        vertices whose out-edges still need relaxing (consumed).
+        Returns the work counters (:func:`new_counters` keys).
+        """
+        raise NotImplementedError(f"stepper {self.name!r} does not support resolve()")
+
+    def default_params(self, graph: Graph) -> dict:
+        """The parameter values a bare ``solve(graph, source)`` will use
+        (reported by the bench so runs are reproducible)."""
+        return {}
+
+    def _seeded_solve(self, graph: Graph, source: int, method: str, **params) -> SSSPResult:
+        """``resolve`` seeded with ``{source: 0}``, packaged as a result."""
+        n = graph.num_vertices
+        if not 0 <= source < n:
+            raise IndexError(f"source {source} out of range [0, {n})")
+        dist = np.full(n, INF, dtype=np.float64)
+        dist[source] = 0.0
+        active = np.zeros(n, dtype=bool)
+        active[source] = True
+        counters = self.resolve(graph, dist, active, **params)
+        return SSSPResult(
+            distances=dist,
+            source=source,
+            delta=float(params.get("delta", float("nan"))),
+            method=method,
+            buckets_processed=counters["steps"],
+            phases=counters["phases"],
+            relaxations=counters["relaxations"],
+            updates=counters["updates"],
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Stepper<{self.name} ({self.kind})>"
+
+
+class FunctionStepper(Stepper):
+    """A pre-framework solver adopted into the registry.
+
+    Wraps any ``(graph, source, **kw) -> SSSPResult`` callable (the fused
+    Δ kernel, Dijkstra, Bellman–Ford …) so the auto-tuner and the CLI can
+    treat the whole portfolio uniformly.  ``resolve`` is unavailable:
+    these implementations own their seeding.
+    """
+
+    kind = "legacy"
+    supports_resolve = False
+
+    def __init__(self, name: str, fn, description: str = "", defaults: dict | None = None):
+        self.name = name
+        self.description = description
+        self._fn = fn
+        self._defaults = dict(defaults or {})
+
+    def solve(self, graph: Graph, source: int, **params) -> SSSPResult:
+        kw = {**self._defaults, **params}
+        return self._fn(graph, source, **kw)
+
+    def default_params(self, graph: Graph) -> dict:
+        return dict(self._defaults)
+
+
+#: name → :class:`Stepper`; the one discovery surface shared by
+#: :func:`get_stepper`, the auto-tuner, ``repro steppers --list``, the
+#: STEP bench, and the service batch dispatch.
+STEPPERS: dict[str, Stepper] = {}
+
+
+def register_stepper(stepper: Stepper) -> Stepper:
+    """Add *stepper* to :data:`STEPPERS` (last registration wins)."""
+    STEPPERS[stepper.name] = stepper
+    return stepper
+
+
+def get_stepper(name: str) -> Stepper:
+    """Look up a stepper by registry name.
+
+    Raises ``ValueError`` naming every registered algorithm — the same
+    contract as :func:`repro.sssp.delta.choose_delta` for Δ strategies.
+    """
+    try:
+        return STEPPERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown stepper {name!r}; known: {format_known(STEPPERS)}"
+        ) from None
+
+
+def stepper_names(kind: str | None = None) -> list[str]:
+    """Registered stepper names, optionally filtered by ``kind``."""
+    return [s.name for s in STEPPERS.values() if kind is None or s.kind == kind]

@@ -1,0 +1,110 @@
+"""A lazy-batched priority frontier with decrease-key-free updates.
+
+Every stepping algorithm needs "the active vertices nearest the source",
+but none needs a strict priority queue: batches are extracted, and a
+vertex whose tentative distance improves mid-step can simply be examined
+again.  Dong et al. 2021 exploit this with a *lazy batched* priority
+queue (their LAB-PQ); :class:`LazyFrontier` is the dense-array reduction
+of the same idea, sized for the NumPy substrate this repo runs on:
+
+- state is one boolean ``active`` mask plus a *reference* to the solver's
+  tentative-distance array — there is no heap, so there is no
+  decrease-key: an improvement overwrites ``dist[v]`` and re-pushes ``v``,
+  and the mask makes duplicate pushes free;
+- ``pop_nearest(rho)`` extracts the ρ active vertices with the smallest
+  tentative distances via ``np.partition`` — O(active) per step, not
+  O(log n) per update — which is exactly the extract primitive
+  ρ-stepping is built on;
+- ``pop_below(bound)`` extracts every active vertex with
+  ``dist ≤ bound``, the primitive behind radius- and Δ*-stepping.
+
+Popped vertices leave the structure; only an actual distance improvement
+(a ``push``) brings one back, which is what makes the steppers'
+label-correcting loops terminate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LazyFrontier"]
+
+
+class LazyFrontier:
+    """The active-vertex set of a stepping solver, over shared distances.
+
+    Parameters
+    ----------
+    dist:
+        The solver's tentative-distance array.  Held by reference — the
+        frontier always ranks by the *current* distances, so there are no
+        stale priorities to lazily delete.
+    active:
+        Optional initial boolean mask (copied).
+    """
+
+    def __init__(self, dist: np.ndarray, active: np.ndarray | None = None):
+        self.dist = dist
+        n = len(dist)
+        if active is None:
+            self.active = np.zeros(n, dtype=bool)
+        else:
+            if active.shape != dist.shape:
+                raise ValueError("active mask must match the distance array")
+            self.active = active.astype(bool, copy=True)
+
+    # -- inspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.active.sum())
+
+    def __bool__(self) -> bool:
+        return bool(self.active.any())
+
+    def vertices(self) -> np.ndarray:
+        """The active vertex ids (ascending)."""
+        return np.nonzero(self.active)[0]
+
+    def peek_min(self) -> float:
+        """Smallest tentative distance among active vertices (``inf`` when
+        empty)."""
+        if not self:
+            return float("inf")
+        return float(self.dist[self.active].min())
+
+    # -- updates ------------------------------------------------------------
+
+    def push(self, vertices: np.ndarray) -> None:
+        """(Re-)activate *vertices*; duplicates and already-active are free."""
+        self.active[vertices] = True
+
+    # -- batch extraction ---------------------------------------------------
+
+    def pop_nearest(self, rho: int) -> np.ndarray:
+        """Extract (up to) the ρ active vertices nearest the source.
+
+        Ties at the ρ-th distance are all included, so a batch is always
+        closed under "same priority" — the property that keeps ρ-stepping's
+        step count independent of tie-breaking order.
+        """
+        if rho < 1:
+            raise ValueError("rho must be >= 1")
+        verts = self.vertices()
+        if len(verts) <= rho:
+            self.active[verts] = False
+            return verts
+        d = self.dist[verts]
+        # the ρ-th smallest distance is the batch's admission bound
+        bound = np.partition(d, rho - 1)[rho - 1]
+        take = verts[d <= bound]
+        self.active[take] = False
+        return take
+
+    def pop_below(self, bound: float) -> np.ndarray:
+        """Extract every active vertex with ``dist <= bound``."""
+        take = np.nonzero(self.active & (self.dist <= bound))[0]
+        self.active[take] = False
+        return take
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LazyFrontier<{len(self)} active of {len(self.dist)}>"

@@ -66,6 +66,24 @@ class TestDeltaHeuristics:
         g = Graph.from_edges([0, 1], [1, 2], [0.0, 0.5], n=3)
         assert dijkstra_equivalent_delta(g) == 0.5
 
+    def test_bellman_ford_equivalent_clamped_on_huge_weights(self):
+        """Regression: ``n · max_weight + 1`` overflowed to ``inf`` on huge
+        weights, and every solver rejects a non-finite Δ; the heuristic must
+        return a large *finite* Δ instead."""
+        g = Graph.from_edges([0, 1], [1, 2], [1e308, 1.0], n=3)
+        d = bellman_ford_equivalent_delta(g)
+        assert np.isfinite(d)
+        assert d == np.finfo(np.float64).max
+        # the clamped Δ still degenerates to one bucket per the contract
+        r = fused_delta_stepping(g, 0, d)
+        assert r.buckets_processed == 1
+        assert np.array_equal(r.distances, dijkstra(g, 0).distances)
+
+    def test_bellman_ford_equivalent_finite_path_untouched(self):
+        """Ordinary graphs keep the exact ``n · max_weight + 1`` value."""
+        g = gen.grid_2d(4, 4)
+        assert bellman_ford_equivalent_delta(g) == g.num_vertices * 1.0 + 1.0
+
     def test_unknown_strategy(self):
         with pytest.raises(ValueError) as excinfo:
             choose_delta(gen.grid_2d(2, 2), "magic")

@@ -1,0 +1,86 @@
+"""Unit tests for the lazy-batched priority frontier."""
+
+import numpy as np
+import pytest
+
+from repro.stepping import LazyFrontier
+
+
+def make(dists, active=None):
+    d = np.asarray(dists, dtype=np.float64)
+    mask = None
+    if active is not None:
+        mask = np.zeros(len(d), dtype=bool)
+        mask[active] = True
+    return LazyFrontier(d, mask)
+
+
+class TestLazyFrontier:
+    def test_starts_empty(self):
+        f = make([1.0, 2.0, 3.0])
+        assert not f
+        assert len(f) == 0
+        assert f.peek_min() == np.inf
+
+    def test_push_and_peek(self):
+        f = make([5.0, 2.0, 9.0])
+        f.push(np.array([0, 2]))
+        assert len(f) == 2
+        assert f.peek_min() == 5.0
+        f.push(np.array([1]))
+        assert f.peek_min() == 2.0
+
+    def test_push_is_idempotent(self):
+        f = make([1.0, 2.0])
+        f.push(np.array([0, 0, 0]))
+        assert len(f) == 1
+
+    def test_pop_nearest_extracts_smallest(self):
+        f = make([4.0, 1.0, 3.0, 2.0], active=[0, 1, 2, 3])
+        batch = f.pop_nearest(2)
+        assert sorted(batch.tolist()) == [1, 3]  # the two smallest distances
+        assert len(f) == 2
+
+    def test_pop_nearest_includes_ties(self):
+        """The batch is closed under equal priority: ties at the ρ-th
+        distance all come out together."""
+        f = make([1.0, 1.0, 1.0, 5.0], active=[0, 1, 2, 3])
+        batch = f.pop_nearest(2)
+        assert sorted(batch.tolist()) == [0, 1, 2]
+
+    def test_pop_nearest_small_frontier_takes_all(self):
+        f = make([3.0, 1.0], active=[0, 1])
+        assert sorted(f.pop_nearest(10).tolist()) == [0, 1]
+        assert not f
+
+    def test_pop_nearest_rejects_bad_rho(self):
+        f = make([1.0], active=[0])
+        with pytest.raises(ValueError):
+            f.pop_nearest(0)
+
+    def test_pop_below_inclusive(self):
+        f = make([1.0, 2.0, 3.0], active=[0, 1, 2])
+        batch = f.pop_below(2.0)
+        assert sorted(batch.tolist()) == [0, 1]
+        assert f.vertices().tolist() == [2]
+
+    def test_decrease_key_free_update(self):
+        """An improvement is just overwrite + re-push: the frontier ranks
+        by the live distance array, so there is no stale priority."""
+        d = np.array([5.0, 2.0, 9.0])
+        f = LazyFrontier(d)
+        f.push(np.array([0, 2]))
+        d[2] = 1.0  # the solver improved vertex 2
+        f.push(np.array([2]))
+        assert f.peek_min() == 1.0
+        assert f.pop_nearest(1).tolist() == [2]
+
+    def test_mismatched_mask_rejected(self):
+        with pytest.raises(ValueError):
+            LazyFrontier(np.zeros(3), np.zeros(4, dtype=bool))
+
+    def test_popped_vertices_leave(self):
+        f = make([1.0, 2.0], active=[0, 1])
+        f.pop_below(10.0)
+        assert not f
+        assert f.pop_below(10.0).size == 0

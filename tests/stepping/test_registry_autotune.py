@@ -1,0 +1,144 @@
+"""Registry discovery and the per-graph auto-tuner."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.sssp.delta import DELTA_STRATEGIES, choose_delta
+from repro.stepping import (
+    DEFAULT_CANDIDATES,
+    STEPPERS,
+    AutoTuner,
+    FunctionStepper,
+    best_stepper,
+    get_stepper,
+    register_stepper,
+    stepper_names,
+)
+
+
+class TestRegistry:
+    def test_all_expected_members(self):
+        assert {"rho", "radius", "delta-star", "delta", "graphblas",
+                "dijkstra", "bellman-ford"} <= set(STEPPERS)
+
+    def test_kind_filter(self):
+        assert set(stepper_names(kind="stepping")) == {"rho", "radius", "delta-star"}
+        assert "delta" in stepper_names(kind="legacy")
+
+    def test_unknown_stepper_error_enumerates_registry(self):
+        """The ValueError names every registered algorithm — the same
+        discovery contract as ``choose_delta``'s strategy error."""
+        with pytest.raises(ValueError) as excinfo:
+            get_stepper("warp-drive")
+        message = str(excinfo.value)
+        assert "warp-drive" in message
+        for name in STEPPERS:
+            assert name in message
+
+    def test_choose_delta_error_enumerates_its_registry(self):
+        """Companion check: the Δ-strategy registry keeps the same
+        one-registry enumeration contract the steppers adopted."""
+        with pytest.raises(ValueError) as excinfo:
+            choose_delta(gen.grid_2d(2, 2), "warp-drive")
+        message = str(excinfo.value)
+        for name in ("auto", *DELTA_STRATEGIES):
+            assert name in message
+
+    def test_register_stepper_roundtrip(self):
+        probe = FunctionStepper("test-probe", lambda g, s, **kw: None, description="x")
+        register_stepper(probe)
+        try:
+            assert get_stepper("test-probe") is probe
+            assert "test-probe" in stepper_names()
+        finally:
+            del STEPPERS["test-probe"]
+
+    def test_default_candidates_are_registered(self):
+        for name in DEFAULT_CANDIDATES:
+            assert name in STEPPERS
+
+
+class TestAutoTuner:
+    def test_probe_races_all_candidates(self, grid_graph):
+        tuner = AutoTuner(num_sources=1, repeats=1)
+        report = tuner.probe(grid_graph)
+        assert {r.stepper for r in report.rows} == set(DEFAULT_CANDIDATES)
+        assert all(r.ms_per_source > 0 for r in report.rows)
+        assert report.best in DEFAULT_CANDIDATES
+
+    def test_report_cached_per_epoch(self, grid_graph):
+        tuner = AutoTuner(num_sources=1, repeats=1)
+        first = tuner.report_for(grid_graph)
+        assert tuner.report_for(grid_graph) is first  # cache hit, no re-probe
+        grid_graph.epoch += 1  # what apply_edge_updates does
+        assert tuner.report_for(grid_graph) is not first
+
+    def test_stale_epochs_evicted_on_reprobe(self, grid_graph):
+        """Epochs are monotone: probing epoch e+1 drops the epoch-e report,
+        so a long-lived tuner doesn't accumulate one entry per mutation."""
+        tuner = AutoTuner(num_sources=1, repeats=1)
+        tuner.report_for(grid_graph)
+        grid_graph.epoch += 1
+        tuner.report_for(grid_graph)
+        assert len(tuner._reports) == 1
+
+    def test_dead_graph_reports_purged(self):
+        """A collected graph's reports are retired (the id-reuse guard)."""
+        import gc
+
+        tuner = AutoTuner(num_sources=1, repeats=1)
+        g = gen.grid_2d(4, 4)
+        tuner.report_for(g)
+        assert len(tuner._reports) == 1
+        del g
+        gc.collect()
+        tuner._purge_dead()
+        assert len(tuner._reports) == 0
+        assert not tuner._tracked_gids
+
+    def test_best_stepper_deterministic_given_report(self, grid_graph):
+        tuner = AutoTuner(num_sources=1, repeats=1)
+        assert tuner.best_stepper(grid_graph) == tuner.report_for(grid_graph).best
+
+    def test_explicit_sources_respected(self, grid_graph):
+        tuner = AutoTuner(num_sources=1, repeats=1)
+        report = tuner.probe(grid_graph, sources=(5,))
+        assert report.sources == (5,)
+
+    def test_predict_scales_linearly(self, grid_graph):
+        tuner = AutoTuner(num_sources=1, repeats=1)
+        name = DEFAULT_CANDIDATES[0]
+        one = tuner.predict_ms(grid_graph, name, 1)
+        assert tuner.predict_ms(grid_graph, name, 10) == pytest.approx(10 * one)
+
+    def test_unknown_candidate_rejected(self):
+        with pytest.raises(ValueError):
+            AutoTuner(candidates=("rho", "warp-drive"))
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            AutoTuner(candidates=())
+
+    def test_module_level_best_stepper(self, grid_graph):
+        pick = best_stepper(grid_graph, tuner=AutoTuner(num_sources=1, repeats=1))
+        assert pick in DEFAULT_CANDIDATES
+
+    def test_custom_candidate_subset(self, grid_graph):
+        tuner = AutoTuner(candidates=("rho", "delta-star"), num_sources=1, repeats=1)
+        assert tuner.best_stepper(grid_graph) in ("rho", "delta-star")
+
+    def test_row_for_unknown_raises(self, grid_graph):
+        tuner = AutoTuner(num_sources=1, repeats=1)
+        with pytest.raises(KeyError):
+            tuner.report_for(grid_graph).row_for("nope")
+
+    def test_tuned_pick_correct_distances(self, random_weighted_graph):
+        """Whatever the tuner picks must still be exact."""
+        from repro.sssp import dijkstra
+        from repro.stepping import solve_with
+
+        tuner = AutoTuner(num_sources=1, repeats=1)
+        pick = tuner.best_stepper(random_weighted_graph)
+        r = solve_with(pick, random_weighted_graph, 0)
+        assert np.array_equal(r.distances, dijkstra(random_weighted_graph, 0).distances)

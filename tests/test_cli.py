@@ -36,6 +36,19 @@ class TestParser:
         args = build_parser().parse_args(["serve-bench"])
         assert args.suite == "ci"
         assert args.queries == 64
+        assert args.stepper is None and not args.auto
+
+    def test_stepper_flags(self):
+        args = build_parser().parse_args(["run", "ci-ws", "--stepper", "rho"])
+        assert args.stepper == "rho"
+        args = build_parser().parse_args(["query", "ci-ws", "--auto"])
+        assert args.auto
+
+    def test_step_bench_defaults(self):
+        args = build_parser().parse_args(["step-bench"])
+        assert args.suite == "ci"
+        assert args.repeats == 3
+        assert not args.smoke
 
 
 class TestCommands:
@@ -87,6 +100,65 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "service_qps" in out
         assert "verified bit-identical" in out
+
+    def test_run_with_stepper(self, capsys):
+        assert main(["run", "ci-ws", "--stepper", "rho", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "rho-stepping" in out
+        assert "verified" in out
+
+    def test_run_auto_prints_pick(self, capsys):
+        assert main(["run", "ci-ws", "--auto", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "auto-tuned" in out
+        assert "verified" in out
+
+    def test_query_with_stepper(self, capsys):
+        assert main(["query", "ci-ws", "--target", "40", "--stepper", "delta-star"]) == 0
+        assert "batch solve" in capsys.readouterr().out
+
+    def test_steppers_lists_both_registries(self, capsys):
+        assert main(["steppers"]) == 0
+        out = capsys.readouterr().out
+        # every registered stepper and every Δ strategy is enumerated
+        from repro.sssp.delta import DELTA_STRATEGIES
+        from repro.stepping import STEPPERS
+
+        for name in STEPPERS:
+            assert name in out
+        for name in ("auto", *DELTA_STRATEGIES):
+            assert name in out
+
+    def test_run_pinned_stepper_beats_auto_flag(self, capsys):
+        """--stepper with --auto: the pin wins and no tuned label is printed."""
+        assert main(["run", "ci-ws", "--stepper", "radius", "--auto"]) == 0
+        out = capsys.readouterr().out
+        assert "auto-tuned" not in out
+        assert "radius-stepping" in out
+
+    def test_run_delta_ignored_with_warning_for_rho(self, capsys):
+        assert main(["run", "ci-ws", "--stepper", "rho", "--delta", "2.0"]) == 0
+        captured = capsys.readouterr()
+        assert "takes no delta" in captured.err
+        assert "rho-stepping" in captured.out
+
+    def test_run_delta_forwarded_to_delta_stepper(self, capsys):
+        assert main(["run", "ci-ws", "--stepper", "delta", "--delta", "2.0"]) == 0
+        captured = capsys.readouterr()
+        assert captured.err == ""
+        assert "2.0" in captured.out
+
+    def test_steppers_probe(self, capsys):
+        assert main(["steppers", "--probe", "ci-ws"]) == 0
+        out = capsys.readouterr().out
+        assert "best_stepper ->" in out
+        assert "ms_per_source" in out
+
+    def test_step_bench_smoke(self, capsys):
+        assert main(["step-bench", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical to Dijkstra" in out
+        assert "Auto-tuner pick vs best measured" in out
 
     def test_profile_command_tiny(self, capsys, monkeypatch):
         # shrink the suite to one graph to keep the test fast
