@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Sharded execution: partition the graph, step per shard, exchange frontiers.
+
+The sharded layer is the repo's rehearsal of a multi-machine deployment:
+
+- a partitioner assigns every vertex an owner shard (cost-balanced over
+  edge mass) and materializes per-shard CSR slices;
+- the ``sharded`` stepper runs delta-stepping per shard under a global
+  sliding window, exchanging boundary relaxations once per superstep
+  (min-combine on delivery keeps the result bit-identical to Dijkstra);
+- the exchange counts the entries and bytes a real wire would carry.
+
+Run:  python examples/sharded_execution.py
+"""
+
+import numpy as np
+
+from repro import datasets
+from repro.shard import partition_graph
+from repro.sssp import dijkstra
+from repro.stepping import solve_with
+
+
+def main() -> None:
+    graph = datasets.load("ci-road")
+    print(f"graph: {graph}")
+
+    # --- partition quality, per partitioner ------------------------------
+    print("\npartition quality (4 shards):")
+    for name in ("contiguous", "bfs"):
+        sg = partition_graph(graph, 4, name)
+        sizes = ", ".join(str(s.num_edges) for s in sg.shards)
+        print(f"  {name:11s} cut {sg.cut_fraction:6.1%}  "
+              f"balance {sg.edge_balance():.2f}  edges/shard [{sizes}]")
+
+    # --- a sharded solve, verified against Dijkstra ----------------------
+    oracle = dijkstra(graph, 0).distances
+    res = solve_with("sharded(shards=4, partitioner=bfs)", graph, 0)
+    assert np.array_equal(res.distances, oracle)
+    print(f"\nsharded solve: {res.extra['shards']} shards "
+          f"({res.extra['partitioner']}), {res.buckets_processed} supersteps, "
+          f"bit-identical to Dijkstra")
+    print(f"  exchange: {res.extra['entries_posted']} posted -> "
+          f"{res.extra['entries_carried']} carried -> "
+          f"{res.extra['entries_applied']} applied "
+          f"({res.extra['bytes_carried'] / 1024:.1f} KiB on the wire)")
+
+    # --- thread transport: shard steps overlap for real ------------------
+    threaded = solve_with("sharded", graph, 0, num_shards=4, transport="threads:4")
+    assert np.array_equal(threaded.distances, oracle)
+    print(f"  thread transport ({threaded.extra['transport']}): "
+          f"same distances, same fixed point")
+
+
+if __name__ == "__main__":
+    main()

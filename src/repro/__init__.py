@@ -7,6 +7,11 @@ Top-level surface:
 - :mod:`repro.ir` — the paper's vertex/edge→linear-algebra translation layer.
 - :mod:`repro.graphs` — graph container, generators, datasets, IO.
 - :mod:`repro.sssp` — the four delta-stepping implementations + baselines.
+- :mod:`repro.stepping` — the generalized stepping-algorithm framework
+  (ρ/radius/Δ* + registry + per-graph auto-tuner).
+- :mod:`repro.shard` — graph partitioners + the partition-parallel
+  sharded stepper with per-step frontier exchange
+  (``repro-sssp shard-bench``).
 - :mod:`repro.service` — the distance-query service layer: multi-source
   batch SSSP engine, LRU distance cache, ALT-style landmark bounds, and
   the coalescing query server (``repro-sssp query`` / ``serve-bench``).
@@ -33,6 +38,8 @@ __all__ = [
     "graphs",
     "datasets",
     "sssp",
+    "stepping",
+    "shard",
     "service",
     "dynamic",
     "ir",
@@ -46,7 +53,7 @@ def __getattr__(name):
     """Lazy subpackage loading so ``import repro`` stays light."""
     import importlib
 
-    if name in {"graphblas", "graphs", "sssp", "service", "dynamic", "ir", "parallel", "algorithms", "bench"}:
+    if name in {"graphblas", "graphs", "sssp", "stepping", "shard", "service", "dynamic", "ir", "parallel", "algorithms", "bench"}:
         return importlib.import_module(f".{name}", __name__)
     if name == "datasets":
         return importlib.import_module(".graphs.datasets", __name__)

@@ -20,6 +20,7 @@ from .figures import (
 )
 from .mutate_bench import mutation_repair_series, render_mutation_repair
 from .service_bench import render_service_throughput, service_throughput_series
+from .shard_bench import render_sharded_scaling, sharded_scaling_series
 from .step_bench import render_stepping_portfolio, stepping_portfolio_series
 from .workloads import suite_workloads
 
@@ -83,6 +84,13 @@ EXPERIMENTS: dict[str, Experiment] = {
         claim="No stepper dominates across graph families; the auto-tuner's pick is within 10% of the best measured per graph",
         run=lambda suite=None, **kw: stepping_portfolio_series(suite_workloads(suite), **kw),
         render=render_stepping_portfolio,
+    ),
+    "SHARD": Experiment(
+        id="SHARD",
+        paper_artifact="Extension (sharded execution)",
+        claim="The partition-parallel sharded stepper is bit-identical to Dijkstra on every (partitioner, shard-count) configuration, with speedup and communication volume reported per partitioner",
+        run=lambda suite=None, **kw: sharded_scaling_series(suite_workloads(suite), **kw),
+        render=render_sharded_scaling,
     ),
 }
 

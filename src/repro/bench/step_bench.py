@@ -19,7 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..sssp.reference import dijkstra
-from ..stepping import DEFAULT_CANDIDATES, AutoTuner, get_stepper
+from ..stepping import DEFAULT_CANDIDATES, AutoTuner, resolve_stepper_spec
 from .reporting import format_table, geometric_mean
 from .timing import time_callable
 from .workloads import Workload, suite_workloads
@@ -47,13 +47,15 @@ def stepping_portfolio_series(
         oracle = dijkstra(wl.graph, wl.source).distances if verify else None
         timings: dict[str, float] = {}
         for name in steppers:
-            s = get_stepper(name)
+            s, params = resolve_stepper_spec(name)
             if verify:
-                r = s.solve(wl.graph, wl.source)
+                r = s.solve(wl.graph, wl.source, **params)
                 assert np.array_equal(r.distances, oracle), (
                     f"{wl.name}: stepper {name} differs from Dijkstra"
                 )
-            stats = time_callable(lambda: s.solve(wl.graph, wl.source), repeats=repeats)
+            stats = time_callable(
+                lambda: s.solve(wl.graph, wl.source, **params), repeats=repeats
+            )
             timings[name] = stats.best_ms
         # the tuner probes the same source under the same repeat budget,
         # so pick and measurement see the same conditions

@@ -12,13 +12,16 @@ query       answer distance queries through the service layer (cache + batch)
 serve-bench regenerate the SERVE experiment (batched vs looped throughput)
 mutate-bench regenerate the DYN experiment (incremental repair vs recompute)
 step-bench  regenerate the STEP experiment (stepping portfolio + tuner pick)
+shard-bench regenerate the SHARD experiment (partition-parallel speedup + comm volume)
 steppers    list the stepping-algorithm registry and Δ strategies
 suite       list the dataset suite with structural statistics
 translate   show the IR translation pipeline + fusion report
 ==========  ==================================================================
 
-``run``, ``query``, and ``serve-bench`` take ``--stepper NAME`` to pin a
-stepping algorithm and ``--auto`` to let the per-graph auto-tuner pick.
+``run``, ``query``, and ``serve-bench`` take ``--stepper SPEC`` to pin a
+stepping algorithm — a registry name or a parameterized spec such as
+``"sharded(shards=4,partitioner=bfs)"`` — and ``--auto`` to let the
+per-graph auto-tuner pick.
 """
 
 from __future__ import annotations
@@ -47,7 +50,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_stepper_flags(sp):
         sp.add_argument("--stepper", default=None,
-                        help="pin a stepping-registry algorithm (see `steppers`)")
+                        help="pin a stepping algorithm: a registry name or a spec "
+                             "like 'sharded(shards=4,partitioner=bfs)' (see `steppers`)")
         sp.add_argument("--auto", action="store_true",
                         help="let the per-graph auto-tuner pick the stepper")
 
@@ -77,6 +81,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     sp = sub.add_parser("step-bench", help="run the STEP stepping-portfolio experiment")
     sp.add_argument("--suite", default="ci", choices=["ci", "paper"], help="graph suite (default: ci)")
+    sp.add_argument("--repeats", type=int, default=3)
+    sp.add_argument("--smoke", action="store_true",
+                    help="fast CI mode: two smallest suite graphs, one repeat")
+
+    sp = sub.add_parser("shard-bench", help="run the SHARD partition-parallel experiment")
+    sp.add_argument("--suite", default="ci", choices=["ci", "paper"], help="graph suite (default: ci)")
+    sp.add_argument("--shards", type=int, nargs="+", default=[2, 4],
+                    help="shard counts to measure (default: 2 4)")
+    sp.add_argument("--partitioners", nargs="+", default=None,
+                    help="partitioners to measure (default: all registered)")
+    sp.add_argument("--transport", default="threads",
+                    help="shard transport: inline, threads, or threads:N (default: threads)")
     sp.add_argument("--repeats", type=int, default=3)
     sp.add_argument("--smoke", action="store_true",
                     help="fast CI mode: two smallest suite graphs, one repeat")
@@ -122,21 +138,20 @@ def _cmd_run(args) -> int:
     wl = workload_for(args.graph, weights=args.weights)
     source = args.source if args.source is not None else wl.source
     if args.auto or args.stepper:
-        from .stepping import best_stepper, get_stepper
+        from .stepping import best_stepper, resolve_stepper_spec
 
         if args.stepper:
-            name = args.stepper  # a pin beats the tuner
+            spec = args.stepper  # a pin beats the tuner
         else:
-            name = best_stepper(wl.graph)
-            print(f"{'auto-tuned':14s} {name}")
-        stepper = get_stepper(name)
-        kwargs = {}
+            spec = best_stepper(wl.graph)
+            print(f"{'auto-tuned':14s} {spec}")
+        stepper, kwargs = resolve_stepper_spec(spec)
         if args.delta is not None:
             # only steppers that advertise a Δ knob take one
             if "delta" in stepper.default_params(wl.graph):
                 kwargs["delta"] = args.delta
             else:
-                print(f"warning: stepper {name!r} takes no delta; --delta ignored",
+                print(f"warning: stepper {stepper.name!r} takes no delta; --delta ignored",
                       file=sys.stderr)
         result = stepper.solve(wl.graph, source, **kwargs)
     else:
@@ -208,6 +223,28 @@ def _cmd_step_bench(args) -> int:
     rows = stepping_portfolio_series(workloads, repeats=repeats)
     print(render_stepping_portfolio(rows))
     print(f"claim: {EXPERIMENTS['STEP'].claim}")
+    return 0
+
+
+def _cmd_shard_bench(args) -> int:
+    from .bench.registry import EXPERIMENTS
+    from .bench.shard_bench import render_sharded_scaling, sharded_scaling_series
+    from .bench.workloads import suite_workloads
+
+    workloads = suite_workloads(args.suite)
+    repeats = args.repeats
+    if args.smoke:
+        workloads = workloads[:2]
+        repeats = 1
+    rows = sharded_scaling_series(
+        workloads,
+        shard_counts=tuple(args.shards),
+        partitioners=tuple(args.partitioners) if args.partitioners else None,
+        transport=args.transport,
+        repeats=repeats,
+    )
+    print(render_sharded_scaling(rows))
+    print(f"claim: {EXPERIMENTS['SHARD'].claim}")
     return 0
 
 
@@ -304,6 +341,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve-bench": _cmd_serve_bench,
         "mutate-bench": _cmd_mutate_bench,
         "step-bench": _cmd_step_bench,
+        "shard-bench": _cmd_shard_bench,
         "steppers": _cmd_steppers,
         "suite": _cmd_suite,
         "translate": _cmd_translate,

@@ -206,10 +206,11 @@ def repair_sssp(
         Run the repair waves on a :data:`repro.stepping.STEPPERS`
         algorithm instead of the built-in Δ-bucket loop — any member
         whose ``supports_resolve`` is true (``"rho"``, ``"radius"``,
-        ``"delta-star"``).  The seeded state is identical either way;
-        only the re-relaxation schedule changes, so the repaired
-        distances do not.  ``None`` (and ``"delta"``) keep the built-in
-        loop.
+        ``"delta-star"``, ``"sharded"``; specs with params like
+        ``"sharded(shards=4)"`` are accepted).  The seeded state is
+        identical either way; only the re-relaxation schedule changes,
+        so the repaired distances do not.  ``None`` (and ``"delta"``)
+        keep the built-in loop.
 
     Returns a :class:`RepairResult` whose ``distances`` are bit-identical
     to ``fused_delta_stepping(graph, source, delta).distances``.
@@ -276,14 +277,14 @@ def repair_sssp(
     if dirty.any() and stepper not in (None, "delta"):
         # tuned-stepper repair: the seeded (d, dirty) state is exactly the
         # resolve() contract of the stepping framework
-        from ..stepping import get_stepper
+        from ..stepping import resolve_stepper_spec
 
-        s = get_stepper(stepper)
+        s, params = resolve_stepper_spec(stepper)
         if not s.supports_resolve:
             raise ValueError(
                 f"stepper {stepper!r} cannot run seeded repair (no resolve support)"
             )
-        c = s.resolve(graph, d, dirty)
+        c = s.resolve(graph, d, dirty, **params)
         counters["buckets"] += c["steps"]
         counters["phases"] += c["phases"]
         counters["relaxations"] += c["relaxations"]

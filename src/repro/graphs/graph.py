@@ -78,6 +78,12 @@ class Graph:
         ``indices[indptr[v]:indptr[v+1]]`` with parallel ``weights``.
     name:
         Human-readable dataset name (used by the benchmark reports).
+    meta:
+        Free-form metadata (dataset family, provenance).  Keys starting
+        with ``_`` are derived caches owned by other layers (e.g. the
+        shard layer's partition views) and are dropped by :meth:`copy`
+        and :meth:`with_weights` — they describe *this* object, not the
+        graph's identity.
     directed:
         Whether the graph was built from directed edges.  Undirected
         graphs are stored with both orientations present.
@@ -280,6 +286,11 @@ class Graph:
             dst, src, w, n=self.num_vertices, name=f"{self.name}-rev", directed=self.directed
         )
 
+    def _public_meta(self) -> dict:
+        """Metadata minus the ``_``-prefixed derived caches (see class
+        docstring) — what copies inherit."""
+        return {k: v for k, v in self.meta.items() if not k.startswith("_")}
+
     def copy(self, name: str | None = None) -> "Graph":
         """Deep copy (fresh CSR arrays, same epoch)."""
         return Graph(
@@ -288,7 +299,7 @@ class Graph:
             weights=self.weights.copy(),
             name=name or self.name,
             directed=self.directed,
-            meta=dict(self.meta),
+            meta=self._public_meta(),
             epoch=self.epoch,
         )
 
@@ -303,7 +314,7 @@ class Graph:
             weights=w.copy(),
             name=name or self.name,
             directed=self.directed,
-            meta=dict(self.meta),
+            meta=self._public_meta(),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

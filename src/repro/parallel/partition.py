@@ -34,7 +34,19 @@ def chunk_by_cost(costs: np.ndarray, num_chunks: int) -> list[tuple[int, int]]:
     targets = np.linspace(0, total, num_chunks + 1)[1:-1]
     cuts = np.searchsorted(cum, targets, side="left") + 1
     bounds = np.unique(np.concatenate([[0], cuts, [n]]))
-    return [(int(bounds[k]), int(bounds[k + 1])) for k in range(len(bounds) - 1)]
+    # a run of zero-cost items between cuts (or at the tail) would become
+    # its own zero-work chunk, wasting a worker/shard slot: keep a cut
+    # only while it advances the cumulative cost, and fold a zero-cost
+    # tail into the last real chunk
+    csum = np.concatenate([[0.0], cum])
+    merged = [0]
+    for b in bounds[1:-1]:
+        if csum[b] > csum[merged[-1]]:
+            merged.append(int(b))
+    if len(merged) > 1 and csum[n] <= csum[merged[-1]]:
+        merged.pop()
+    merged.append(n)
+    return [(merged[k], merged[k + 1]) for k in range(len(merged) - 1)]
 
 
 def balanced_partition(costs: list[float], bins: int) -> list[list[int]]:
@@ -51,7 +63,9 @@ def balanced_partition(costs: list[float], bins: int) -> list[list[int]]:
     loads = [0.0] * bins
     assignment: list[list[int]] = [[] for _ in range(bins)]
     for k in order:
-        b = loads.index(min(loads))
+        # ties broken by item count, then index: an all-zero cost array
+        # round-robins instead of piling every task onto bin 0
+        b = min(range(bins), key=lambda j: (loads[j], len(assignment[j]), j))
         assignment[b].append(k)
         loads[b] += costs[k]
     return assignment

@@ -316,18 +316,20 @@ def batch_stepper_loop(graph: Graph, sources, stepper: str = "rho") -> BatchSSSP
     waves (each stepper owns its schedule), but the same
     :class:`BatchSSSPResult` surface, so the service planner can route a
     tuned stepper choice through the existing execution path unchanged.
-    Counters aggregate across the K runs; phases here count per-source
-    waves (there is no batching win to report).
+    *stepper* may carry spec params (``"sharded(shards=2)"``) — the
+    auto-tuner's picks arrive in that spelling.  Counters aggregate
+    across the K runs; phases here count per-source waves (there is no
+    batching win to report).
     """
-    from ..stepping import get_stepper
+    from ..stepping import resolve_stepper_spec
 
     src = _check_sources(graph, sources)
-    s = get_stepper(stepper)
+    s, params = resolve_stepper_spec(stepper)
     K, n = len(src), graph.num_vertices
     distances = np.full((K, n), INF, dtype=np.float64)
     counters = {"buckets": 0, "phases": 0, "relaxations": 0, "updates": 0}
     for k in range(K):
-        r = s.solve(graph, int(src[k]))
+        r = s.solve(graph, int(src[k]), **params)
         distances[k] = r.distances
         counters["buckets"] += r.buckets_processed
         counters["phases"] += r.phases
@@ -376,19 +378,26 @@ def batch_delta_stepping(
         stepper-dispatched methods (each stepper picks its own knobs).
     method:
         ``"fused"`` (shared-wave throughput engine, default),
-        ``"graphblas"`` (matrix-kernel formulation), or any stepper from
-        the :data:`repro.stepping.STEPPERS` registry — ``"delta"`` maps
-        to the native fused engine, the rest run through
-        :func:`batch_stepper_loop`.
+        ``"graphblas"`` (matrix-kernel formulation), or any stepper
+        spec over the :data:`repro.stepping.STEPPERS` registry — a bare
+        name or a parameterized form like ``"sharded(shards=4)"``.
+        ``"delta"`` maps to the native fused engine, the rest run
+        through :func:`batch_stepper_loop`.
     """
-    method = _STEPPER_BATCH_ALIASES.get(method, method)
-    if method in BATCH_METHODS:
+    from ..stepping import STEPPERS, parse_stepper_spec
+
+    name, params = parse_stepper_spec(method)
+    name = _STEPPER_BATCH_ALIASES.get(name, name)
+    if name in BATCH_METHODS:
+        if params:
+            raise ValueError(
+                f"batch method {name!r} takes no spec params (got {method!r}); "
+                "pass delta= directly"
+            )
         if delta is None:
             delta = choose_delta(graph)
-        return BATCH_METHODS[method](graph, sources, delta)
-    from ..stepping import STEPPERS
-
-    if method in STEPPERS:
+        return BATCH_METHODS[name](graph, sources, delta)
+    if name in STEPPERS:
         return batch_stepper_loop(graph, sources, stepper=method)
     known = ", ".join(dict.fromkeys([*sorted(BATCH_METHODS), *STEPPERS]))
     raise ValueError(f"unknown batch method {method!r}; known: {known}")

@@ -78,7 +78,8 @@ class QueryPlanner:
         budget is spent, remaining sources fall back to landmark
         estimates (when available).  ``None`` means always exact.
     stepper:
-        Pin the exact-solve algorithm to one stepping-registry name
+        Pin the exact-solve algorithm to one stepping-registry spec —
+        a name or a parameterized form like ``"sharded(shards=4)"``
         (stamped onto every plan).  ``None`` leaves the choice to the
         tuned pick (:meth:`set_tuned_stepper`) or, failing that, the
         server's default batch engine.

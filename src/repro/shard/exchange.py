@@ -1,0 +1,261 @@
+"""The per-step frontier exchange: outboxes, min-combine delivery, transports.
+
+Each superstep of the sharded stepper ends with one exchange round: every
+shard has accumulated the relaxation requests that crossed its boundary
+(``(target, candidate distance)`` pairs for vertices owned elsewhere),
+and the exchange routes them to the owners, **min-combining on
+delivery** — only a candidate that beats the owner's current tentative
+distance is applied and re-activates the vertex.  Min is associative and
+commutative, so routing order cannot change the result; that is what
+keeps the sharded schedule on the same min-plus fixed point as every
+other stepper.
+
+Two cost-model pieces live here:
+
+- :class:`Outbox` buffers are dense per-sender request arrays
+  (scatter-min accumulation, the same ``np.minimum.at`` idiom as the
+  batch engine), so duplicate candidates for one target collapse
+  *before* they would cross a wire;
+- :class:`ExchangeStats` counts what a real multi-machine transport
+  would pay — posted candidates, deduplicated entries actually carried,
+  applied improvements, and an estimated byte volume — the SHARD bench's
+  communication-volume column.
+
+Transports decide *where* the per-shard step functions run:
+:class:`InProcessTransport` runs them inline (deterministic, zero
+dependencies), :class:`PoolTransport` fans them out on a
+:class:`repro.parallel.pool.WorkerPool` (NumPy kernels release the GIL,
+so shard steps genuinely overlap).  A multi-machine transport slots in
+by implementing the same two-method surface.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..parallel.pool import WorkerPool, get_pool
+from ..sssp.fused import _min_by_target
+from ..sssp.result import INF
+
+__all__ = [
+    "ExchangeStats",
+    "Outbox",
+    "FrontierExchange",
+    "Transport",
+    "InProcessTransport",
+    "PoolTransport",
+    "TRANSPORTS",
+    "make_transport",
+]
+
+#: bytes a wire transport would pay per delivered entry: one int64
+#: vertex id + one float64 distance
+ENTRY_BYTES = 16
+
+
+@dataclass
+class ExchangeStats:
+    """Communication-volume counters for one sharded run.
+
+    ``entries_posted`` counts raw cross-shard relaxation candidates,
+    ``entries_carried`` the deduplicated (per-sender min-combined) pairs
+    an actual wire would carry, ``entries_applied`` the deliveries that
+    improved the owner's tentative distance.  ``exchanges`` counts flush
+    rounds (one per superstep that had boundary traffic to move).
+    """
+
+    exchanges: int = 0
+    entries_posted: int = 0
+    entries_carried: int = 0
+    entries_applied: int = 0
+
+    @property
+    def bytes_carried(self) -> int:
+        """Estimated wire volume of the carried entries."""
+        return self.entries_carried * ENTRY_BYTES
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Carried over posted (1.0 = no outbox dedup win)."""
+        return self.entries_carried / self.entries_posted if self.entries_posted else 1.0
+
+    def as_dict(self) -> dict:
+        return {
+            "exchanges": self.exchanges,
+            "entries_posted": self.entries_posted,
+            "entries_carried": self.entries_carried,
+            "entries_applied": self.entries_applied,
+            "bytes_carried": self.bytes_carried,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ExchangeStats<{self.exchanges} exchanges, "
+            f"{self.entries_carried}/{self.entries_posted} carried/posted>"
+        )
+
+
+class Outbox:
+    """One sender's accumulation buffer for cross-shard candidates.
+
+    Dense over the global vertex space: posting scatter-mins into
+    ``req``, so multiple candidates for one external target collapse to
+    the best before the flush.  Only touched keys are reset, keeping a
+    post linear in its candidate count.
+    """
+
+    def __init__(self, n: int):
+        self.req = np.full(n, INF, dtype=np.float64)
+        self._touched: list[np.ndarray] = []
+        #: raw candidates posted since the last drain; kept here (one
+        #: writer: the owning shard's step) so concurrent shard steps
+        #: never race on a shared counter
+        self.posted = 0
+
+    def post(self, targets: np.ndarray, dists: np.ndarray) -> None:
+        """Min-combine ``(targets, dists)`` candidates into the buffer."""
+        if len(targets) == 0:
+            return
+        self.posted += len(targets)
+        np.minimum.at(self.req, targets, dists)
+        self._touched.append(np.asarray(targets, dtype=np.int64))
+
+    def take(self) -> tuple[np.ndarray, np.ndarray]:
+        """Drain: the unique touched targets and their best candidates."""
+        self.posted = 0
+        if not self._touched:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+        keys = np.unique(np.concatenate(self._touched))
+        vals = self.req[keys].copy()
+        self.req[keys] = INF
+        self._touched.clear()
+        return keys, vals
+
+    def __bool__(self) -> bool:
+        return bool(self._touched)
+
+
+class FrontierExchange:
+    """The exchange endpoint shared by all shards of one run.
+
+    Each shard posts into its own :class:`Outbox` (no cross-shard writes
+    during a step, so the pool transport needs no locks); ``flush``
+    routes every outbox to the owners, min-combines candidates across
+    senders, applies the improvements to the authoritative distance
+    array, and returns the vertices whose owners must re-activate them.
+    """
+
+    def __init__(self, num_shards: int, num_vertices: int):
+        self.outboxes = [Outbox(num_vertices) for _ in range(num_shards)]
+        self.stats = ExchangeStats()
+
+    def post(self, shard_id: int, targets: np.ndarray, dists: np.ndarray) -> None:
+        """Called from shard *shard_id*'s step: boundary candidates out.
+
+        Concurrency-safe by construction, not by locking: each shard
+        writes only its own outbox, and the aggregate counters are
+        summed at :meth:`flush` (single-threaded, after the transport
+        barrier).
+        """
+        self.outboxes[shard_id].post(targets, dists)
+
+    def flush(self, dist: np.ndarray) -> np.ndarray:
+        """One exchange round: deliver all outboxes, min-combine, apply.
+
+        Returns the (sorted, unique) vertices whose tentative distance
+        improved — the next step's incoming frontier.
+        """
+        self.stats.entries_posted += sum(box.posted for box in self.outboxes)
+        pending = [box.take() for box in self.outboxes if box]
+        if not pending:
+            return np.empty(0, dtype=np.int64)
+        self.stats.exchanges += 1
+        self.stats.entries_carried += sum(len(k) for k, _ in pending)
+        if len(pending) == 1:
+            keys, vals = pending[0]
+        else:
+            keys, vals = _min_by_target(
+                np.concatenate([k for k, _ in pending]),
+                np.concatenate([v for _, v in pending]),
+            )
+        improved = vals < dist[keys]
+        keys, vals = keys[improved], vals[improved]
+        dist[keys] = vals
+        self.stats.entries_applied += len(keys)
+        return keys
+
+
+class Transport(ABC):
+    """Where per-shard step functions execute (a barrier per round)."""
+
+    name: str = "?"
+
+    @abstractmethod
+    def run(self, fns) -> list:
+        """Execute the zero-argument *fns*, one per shard; barrier until
+        all complete, results in submission order."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Transport<{self.name}>"
+
+
+class InProcessTransport(Transport):
+    """Sequential in-process execution — the deterministic reference."""
+
+    name = "inline"
+
+    def run(self, fns) -> list:
+        return [fn() for fn in fns]
+
+
+class PoolTransport(Transport):
+    """Shard steps on a shared :class:`~repro.parallel.pool.WorkerPool`.
+
+    The pool comes from :func:`repro.parallel.pool.get_pool` (or is
+    handed in by the caller — the auto-tuner passes one shared pool so
+    probe runs never spawn per-probe workers) and is **not** owned:
+    shutdown stays with the pool registry.
+    """
+
+    def __init__(self, pool: WorkerPool | None = None, num_threads: int = 4):
+        self.pool = pool if pool is not None else get_pool(num_threads)
+        self.name = f"threads[{self.pool.num_threads}]"
+
+    def run(self, fns) -> list:
+        return self.pool.run_batch(fns)
+
+
+#: transport spec → factory; the discovery surface of
+#: :func:`make_transport` (``threads`` takes an optional thread count,
+#: e.g. ``"threads:8"``).
+TRANSPORTS = {
+    "inline": lambda arg=None, pool=None: InProcessTransport(),
+    "threads": lambda arg=None, pool=None: PoolTransport(
+        pool=pool, num_threads=int(arg) if arg else 4
+    ),
+}
+
+
+def make_transport(spec=None, pool: WorkerPool | None = None) -> Transport:
+    """Resolve a transport from a spec string, instance, or pool.
+
+    ``None`` picks :class:`PoolTransport` when a *pool* is supplied and
+    :class:`InProcessTransport` otherwise; strings are ``"inline"``,
+    ``"threads"``, or ``"threads:N"``.  Raises ``ValueError`` naming
+    every registered transport.
+    """
+    if isinstance(spec, Transport):
+        return spec
+    if spec is None:
+        return PoolTransport(pool=pool) if pool is not None else InProcessTransport()
+    name, _, arg = str(spec).partition(":")
+    try:
+        factory = TRANSPORTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown transport {spec!r}; known: {', '.join(TRANSPORTS)}"
+        ) from None
+    return factory(arg or None, pool=pool)

@@ -3,10 +3,11 @@
 The paper positions Δ-stepping between Dijkstra (Δ → min weight) and
 Bellman–Ford (Δ → ∞); this package generalizes that one dial into an
 algorithm *portfolio* behind a single step/relax contract, plus a tuner
-that picks per graph.  It is the repo's first pluggable-algorithm
-subsystem: future backends (sharded, GPU, distributed steppers) register
-here and every consumer — service planner, batch engine, dynamic repair,
-CLI, STEP bench — picks them up for free.
+that picks per graph.  It is the repo's pluggable-algorithm surface:
+backends register here and every consumer — service planner, batch
+engine, dynamic repair, CLI, STEP bench — picks them up for free.  The
+partition-parallel sharded backend (:mod:`repro.shard`) registers as
+``"sharded"``; GPU and multi-machine steppers are the next plug-ins.
 
 Module map
 ----------
@@ -56,7 +57,9 @@ from .base import (
     Stepper,
     format_known,
     get_stepper,
+    parse_stepper_spec,
     register_stepper,
+    resolve_stepper_spec,
     stepper_names,
 )
 from .delta_star import DeltaStarStepper, default_delta_star, delta_star_stepping
@@ -72,6 +75,8 @@ __all__ = [
     "get_stepper",
     "stepper_names",
     "format_known",
+    "parse_stepper_spec",
+    "resolve_stepper_spec",
     "solve_with",
     "LazyFrontier",
     "rho_stepping",
@@ -92,8 +97,14 @@ __all__ = [
 
 
 def solve_with(stepper: str, graph, source: int, **params) -> SSSPResult:
-    """Run SSSP with any registered stepper: ``solve_with("rho", g, 0)``."""
-    return get_stepper(stepper).solve(graph, source, **params)
+    """Run SSSP with any registered stepper: ``solve_with("rho", g, 0)``.
+
+    *stepper* may be a bare registry name or a parameterized spec like
+    ``"sharded(shards=4, partitioner=bfs)"`` (explicit ``**params`` win
+    over spec params).
+    """
+    s, spec_params = resolve_stepper_spec(stepper)
+    return s.solve(graph, source, **{**spec_params, **params})
 
 
 def _fused_auto(graph, source, delta=None, **kw):
@@ -131,3 +142,8 @@ register_stepper(FunctionStepper(
     "bellman-ford", bellman_ford,
     description="edge-centric Bellman-Ford, one vectorized wave per round",
 ))
+
+# the sharded backend registers itself at the bottom of its module; the
+# import order is cycle-safe from either entry point because this line
+# runs after every stepping submodule the shard package depends on
+from ..shard import stepper as _shard_stepper  # noqa: E402,F401  (registration side effect)

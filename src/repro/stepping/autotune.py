@@ -14,6 +14,16 @@ service's :class:`~repro.service.cache.DistanceCache` uses — so a served
 graph is probed once, and a mutation (which bumps the epoch) triggers a
 re-probe on next use.  The service planner consults this pick for exact
 solves; ``repro step-bench`` reports it next to the full measurement.
+
+Candidates are stepper *specs*: a bare registry name, or a name with
+pinned parameters (``"sharded(shards=2,transport=threads)"``) so one
+algorithm can race under several configurations — that is how shard
+count and partitioner become tunable knobs.  Probes execute each spec
+**verbatim**, exactly as a consumer resolving the winning spec later
+will, so pick and execution always see the same configuration; pooled
+transports resolve through :func:`~repro.parallel.pool.get_pool`, whose
+process-wide memoized pools mean a probe round reuses one shared worker
+pool instead of spawning its own.
 """
 
 from __future__ import annotations
@@ -25,7 +35,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..graphs.graph import Graph
-from .base import STEPPERS, format_known, get_stepper
+from .base import STEPPERS, format_known, parse_stepper_spec, resolve_stepper_spec
 
 __all__ = ["DEFAULT_CANDIDATES", "ProbeRow", "TuningReport", "AutoTuner", "best_stepper"]
 
@@ -33,7 +43,20 @@ __all__ = ["DEFAULT_CANDIDATES", "ProbeRow", "TuningReport", "AutoTuner", "best_
 #: registered steppers but not default candidates: the first is the
 #: paper's deliberately-unfused formulation, the second a Python-loop
 #: oracle — both lose by construction, so probing them is pure overhead.
-DEFAULT_CANDIDATES = ("delta", "delta-star", "rho", "radius", "bellman-ford")
+#: The sharded backend races at two shard counts (partition-parallel is
+#: only worth picking when the exchange volume stays paid for); its specs
+#: pin ``transport=threads`` so a consumer executing the pick runs the
+#: same pooled configuration the probe measured — the probe's shared
+#: pool and the spec's transport resolve to the same ``get_pool`` pool.
+DEFAULT_CANDIDATES = (
+    "delta",
+    "delta-star",
+    "rho",
+    "radius",
+    "bellman-ford",
+    "sharded(shards=2,transport=threads)",
+    "sharded(shards=4,partitioner=bfs,transport=threads)",
+)
 
 
 @dataclass(frozen=True)
@@ -100,7 +123,7 @@ class AutoTuner:
         seed: int = 23,
     ):
         self.candidates = tuple(candidates) if candidates is not None else DEFAULT_CANDIDATES
-        unknown = [c for c in self.candidates if c not in STEPPERS]
+        unknown = [c for c in self.candidates if parse_stepper_spec(c)[0] not in STEPPERS]
         if unknown:
             raise ValueError(
                 f"unknown stepper(s) {unknown!r}; known: {format_known(STEPPERS)}"
@@ -146,18 +169,24 @@ class AutoTuner:
         sources = tuple(sources) if sources is not None else self._sample_sources(graph)
         if not sources:
             raise ValueError("probe needs at least one source")
+        # each spec runs verbatim — the same resolution path a consumer
+        # executing the winning pick takes — so measured and served
+        # configurations can never drift apart.  Pooled transports go
+        # through get_pool's memoized pools: one shared worker set per
+        # thread count, never a per-probe spawn.
+        resolved = [(spec, *resolve_stepper_spec(spec)) for spec in self.candidates]
         rows = []
-        for name in self.candidates:
-            stepper = get_stepper(name)
+        for spec, stepper, params in resolved:
             per_source = []
             for s in sources:
                 stats = time_callable(
-                    lambda: stepper.solve(graph, s), repeats=self.repeats, warmup=0
+                    lambda: stepper.solve(graph, s, **params),
+                    repeats=self.repeats, warmup=0,
                 )
                 per_source.append(stats.best_ms)
             rows.append(
                 ProbeRow(
-                    stepper=name,
+                    stepper=spec,
                     ms_per_source=float(np.mean(per_source)),
                     sources_probed=len(sources),
                 )

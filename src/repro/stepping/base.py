@@ -46,6 +46,8 @@ __all__ = [
     "format_known",
     "relax_wave",
     "new_counters",
+    "parse_stepper_spec",
+    "resolve_stepper_spec",
 ]
 
 
@@ -97,12 +99,23 @@ class Stepper(ABC):
     supports_resolve:
         Whether :meth:`resolve` is implemented (the dynamic layer's
         repair path requires it).
+    parallel_capable:
+        Whether ``solve``/``resolve`` accept a ``pool=`` keyword
+        (a :class:`repro.parallel.pool.WorkerPool`) for embedders that
+        manage their own worker pool; transport specs resolved without
+        one fall back to the shared :func:`repro.parallel.pool.get_pool`
+        pools.
     """
 
     name: str = "?"
     kind: str = "stepping"
     description: str = ""
     supports_resolve: bool = True
+    parallel_capable: bool = False
+    #: short spec-parameter spellings → the solve() keyword they set
+    #: (``"sharded(shards=4)"`` → ``num_shards=4``); consulted by
+    #: :func:`resolve_stepper_spec`, empty for most steppers
+    spec_param_aliases: dict = {}
 
     @abstractmethod
     def solve(self, graph: Graph, source: int, **params) -> SSSPResult:
@@ -203,3 +216,60 @@ def get_stepper(name: str) -> Stepper:
 def stepper_names(kind: str | None = None) -> list[str]:
     """Registered stepper names, optionally filtered by ``kind``."""
     return [s.name for s in STEPPERS.values() if kind is None or s.kind == kind]
+
+
+def _parse_value(text: str):
+    """A spec parameter value: int, then float, then bare string."""
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def parse_stepper_spec(spec: str) -> tuple[str, dict]:
+    """Split a stepper spec into ``(registry name, solve params)``.
+
+    A *spec* is a registry name with optional call-style parameters —
+    ``"sharded(shards=4, partitioner=bfs)"`` — the spelling the
+    auto-tuner uses to race one algorithm under several configurations
+    and the CLI accepts anywhere a stepper name goes.  Values parse as
+    int, float, or bare string.  A bare name passes through unchanged
+    with empty params; the name is *not* validated here (use
+    :func:`resolve_stepper_spec` for lookup + validation).
+    """
+    spec = spec.strip()
+    if "(" not in spec:
+        return spec, {}
+    name, _, rest = spec.partition("(")
+    rest = rest.strip()
+    if not rest.endswith(")"):
+        raise ValueError(f"malformed stepper spec {spec!r} (missing ')')")
+    params: dict = {}
+    body = rest[:-1].strip()
+    if body:
+        for item in body.split(","):
+            key, eq, value = item.partition("=")
+            if not eq or not key.strip() or not value.strip():
+                raise ValueError(
+                    f"malformed stepper spec {spec!r} (expected key=value, got {item!r})"
+                )
+            params[key.strip()] = _parse_value(value.strip())
+    return name.strip(), params
+
+
+def resolve_stepper_spec(spec: str) -> tuple[Stepper, dict]:
+    """Look up a spec's stepper and normalize its params.
+
+    Param spellings go through the stepper's own
+    :attr:`Stepper.spec_param_aliases`, so short CLI-friendly names
+    (``shards=4``) map onto the solve keyword (``num_shards``) without
+    the framework hardcoding any stepper's vocabulary.  Raises the same
+    registry-enumerating ``ValueError`` as :func:`get_stepper` for
+    unknown names.
+    """
+    name, params = parse_stepper_spec(spec)
+    stepper = get_stepper(name)
+    aliases = stepper.spec_param_aliases
+    return stepper, {aliases.get(k, k): v for k, v in params.items()}

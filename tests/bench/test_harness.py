@@ -107,9 +107,38 @@ class TestReporting:
         assert geometric_mean([]) == 0.0
 
 
+class TestShardBench:
+    def test_series_and_render(self, tiny_workloads):
+        from repro.bench.shard_bench import (
+            render_sharded_scaling,
+            sharded_scaling_series,
+        )
+
+        rows = sharded_scaling_series(
+            tiny_workloads[:1], shard_counts=(2,), partitioners=("contiguous",),
+            transport="inline", repeats=1,
+        )
+        assert len(rows) == 2  # sequential baseline + one configuration
+        base, config = rows
+        assert base["shards"] == 1 and base["speedup"] == 1.0
+        assert config["shards"] == 2
+        assert config["verified"] == "ok"
+        assert config["entries"] >= 0 and config["kb"] >= 0
+        text = render_sharded_scaling(rows)
+        assert "SHARD" in text
+        assert "PASS" in text
+        assert "exchanged" in text
+
+    def test_rejects_empty_shard_counts(self, tiny_workloads):
+        from repro.bench.shard_bench import sharded_scaling_series
+
+        with pytest.raises(ValueError):
+            sharded_scaling_series(tiny_workloads[:1], shard_counts=())
+
+
 class TestRegistry:
     def test_all_experiments_present(self):
-        assert {"FIG3", "FIG4", "SEC6C", "SERVE", "DYN"} <= set(EXPERIMENTS)
+        assert {"FIG3", "FIG4", "SEC6C", "SERVE", "DYN", "STEP", "SHARD"} <= set(EXPERIMENTS)
 
     def test_experiments_have_claims(self):
         for exp in EXPERIMENTS.values():

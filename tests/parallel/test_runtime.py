@@ -50,6 +50,31 @@ class TestChunkByCost:
         covered = [i for lo, hi in chunks for i in range(lo, hi)]
         assert covered == list(range(6))
 
+    def test_zero_cost_tail_folds_into_last_chunk(self):
+        """A run of zero-cost items at the tail must not become its own
+        zero-work chunk (it would waste a worker/shard slot)."""
+        chunks = chunk_by_cost(np.array([5.0, 5.0, 0.0, 0.0]), 2)
+        covered = [i for lo, hi in chunks for i in range(lo, hi)]
+        assert covered == list(range(4))
+        loads = [float(np.array([5.0, 5.0, 0.0, 0.0])[lo:hi].sum()) for lo, hi in chunks]
+        assert all(load > 0 for load in loads)
+
+    def test_zero_cost_tail_single_positive_item(self):
+        chunks = chunk_by_cost(np.array([5.0, 0.0]), 2)
+        assert chunks == [(0, 2)]  # one chunk, nothing empty
+
+    def test_interior_zero_runs_never_make_empty_chunks(self):
+        costs = np.array([10.0, 0.0, 0.0, 0.0, 10.0, 0.0, 0.0])
+        for k in (2, 3, 5):
+            chunks = chunk_by_cost(costs, k)
+            covered = [i for lo, hi in chunks for i in range(lo, hi)]
+            assert covered == list(range(len(costs))), k
+            assert all(costs[lo:hi].sum() > 0 for lo, hi in chunks), k
+
+    def test_single_item_cost_array(self):
+        assert chunk_by_cost(np.array([3.0]), 4) == [(0, 1)]
+        assert chunk_by_cost(np.array([0.0]), 4) == [(0, 1)]
+
 
 class TestBalancedPartition:
     def test_all_assigned_once(self):
@@ -66,6 +91,19 @@ class TestBalancedPartition:
 
     def test_zero_bins(self):
         assert balanced_partition([1.0], 0) == []
+
+    def test_all_zero_costs_round_robin(self):
+        """Zero-cost tasks must spread across bins (the load tie-break
+        used to pile everything onto bin 0)."""
+        bins = balanced_partition([0.0] * 7, 3)
+        counts = sorted(len(b) for b in bins)
+        assert sum(counts) == 7
+        assert counts[-1] - counts[0] <= 1
+
+    def test_single_item(self):
+        bins = balanced_partition([2.5], 3)
+        assert sorted(i for b in bins for i in b) == [0]
+        assert sum(1 for b in bins if b) == 1
 
 
 class TestWorkerPool:

@@ -12,7 +12,9 @@ from repro.stepping import (
     FunctionStepper,
     best_stepper,
     get_stepper,
+    parse_stepper_spec,
     register_stepper,
+    resolve_stepper_spec,
     stepper_names,
 )
 
@@ -20,11 +22,12 @@ from repro.stepping import (
 class TestRegistry:
     def test_all_expected_members(self):
         assert {"rho", "radius", "delta-star", "delta", "graphblas",
-                "dijkstra", "bellman-ford"} <= set(STEPPERS)
+                "dijkstra", "bellman-ford", "sharded"} <= set(STEPPERS)
 
     def test_kind_filter(self):
         assert set(stepper_names(kind="stepping")) == {"rho", "radius", "delta-star"}
         assert "delta" in stepper_names(kind="legacy")
+        assert stepper_names(kind="sharded") == ["sharded"]
 
     def test_unknown_stepper_error_enumerates_registry(self):
         """The ValueError names every registered algorithm — the same
@@ -55,8 +58,52 @@ class TestRegistry:
             del STEPPERS["test-probe"]
 
     def test_default_candidates_are_registered(self):
-        for name in DEFAULT_CANDIDATES:
-            assert name in STEPPERS
+        for spec in DEFAULT_CANDIDATES:
+            assert parse_stepper_spec(spec)[0] in STEPPERS
+
+
+class TestStepperSpecs:
+    """Parameterized candidate specs: ``name(k=v, ...)``."""
+
+    def test_bare_name_passes_through(self):
+        assert parse_stepper_spec("rho") == ("rho", {})
+
+    def test_params_parse_with_types(self):
+        name, params = parse_stepper_spec("sharded(shards=4, partitioner=bfs)")
+        assert name == "sharded"
+        assert params == {"shards": 4, "partitioner": "bfs"}
+        assert isinstance(params["shards"], int)
+
+    def test_float_param(self):
+        assert parse_stepper_spec("delta-star(delta=2.5)")[1] == {"delta": 2.5}
+
+    def test_resolve_normalizes_aliases(self):
+        stepper, params = resolve_stepper_spec("sharded(shards=2)")
+        assert stepper.name == "sharded"
+        assert params == {"num_shards": 2}
+
+    def test_aliases_are_per_stepper(self):
+        """Alias tables live on the stepper: another member's ``shards=``
+        must pass through unrenamed (its solve() will reject it itself)."""
+        _, params = resolve_stepper_spec("rho(shards=3)")
+        assert params == {"shards": 3}
+
+    def test_resolve_rejects_unknown_name(self):
+        with pytest.raises(ValueError):
+            resolve_stepper_spec("warp-drive(x=1)")
+
+    @pytest.mark.parametrize("bad", ["rho(", "rho(x)", "rho(=1)", "rho(x=)"])
+    def test_malformed_specs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_stepper_spec(bad)
+
+    def test_spec_solve_matches_explicit_params(self, grid_graph):
+        from repro.stepping import solve_with
+
+        a = solve_with("sharded(shards=3)", grid_graph, 0)
+        b = solve_with("sharded", grid_graph, 0, num_shards=3)
+        assert np.array_equal(a.distances, b.distances)
+        assert a.extra["shards"] == 3
 
 
 class TestAutoTuner:
@@ -115,6 +162,55 @@ class TestAutoTuner:
     def test_unknown_candidate_rejected(self):
         with pytest.raises(ValueError):
             AutoTuner(candidates=("rho", "warp-drive"))
+
+    def test_unknown_spec_candidate_rejected(self):
+        with pytest.raises(ValueError):
+            AutoTuner(candidates=("rho", "warp-drive(x=1)"))
+
+    def test_probe_executes_specs_verbatim(self, grid_graph, monkeypatch):
+        """A probe run gets exactly the spec's params — the same call a
+        consumer resolving the winning pick makes later, so measured and
+        served configurations cannot drift apart."""
+        seen = []
+        sharded = STEPPERS["sharded"]
+        real_solve = sharded.solve
+
+        def spying_solve(graph, source, **kw):
+            seen.append(kw)
+            return real_solve(graph, source, **kw)
+
+        monkeypatch.setattr(sharded, "solve", spying_solve)
+        AutoTuner(
+            candidates=("sharded(shards=2,transport=threads)",),
+            num_sources=1, repeats=1,
+        ).probe(grid_graph)
+        assert seen
+        assert all(kw == {"num_shards": 2, "transport": "threads"} for kw in seen)
+
+    def test_pooled_probes_reuse_one_worker_pool(self, grid_graph, monkeypatch):
+        """Every threaded probe run resolves to the same get_pool()-managed
+        worker pool: no per-probe worker spawning."""
+        from repro.parallel import pool as pool_mod
+
+        handed_out = []
+        real_get_pool = pool_mod.get_pool
+
+        def counting_get_pool(num_threads):
+            p = real_get_pool(num_threads)
+            handed_out.append(p)
+            return p
+
+        monkeypatch.setattr("repro.shard.exchange.get_pool", counting_get_pool)
+        tuner = AutoTuner(
+            candidates=(
+                "sharded(shards=2,transport=threads)",
+                "sharded(shards=3,transport=threads)",
+            ),
+            num_sources=2, repeats=2,
+        )
+        tuner.probe(grid_graph)
+        assert len(handed_out) == 8  # 2 candidates x 2 sources x 2 repeats
+        assert len(set(map(id, handed_out))) == 1  # ... all the same pool
 
     def test_empty_candidates_rejected(self):
         with pytest.raises(ValueError):

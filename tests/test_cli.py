@@ -50,6 +50,24 @@ class TestParser:
         assert args.repeats == 3
         assert not args.smoke
 
+    def test_shard_bench_defaults(self):
+        args = build_parser().parse_args(["shard-bench"])
+        assert args.suite == "ci"
+        assert args.shards == [2, 4]
+        assert args.partitioners is None
+        assert args.transport == "threads"
+        assert not args.smoke
+
+    def test_shard_bench_flags(self):
+        args = build_parser().parse_args(
+            ["shard-bench", "--shards", "2", "8", "--partitioners", "bfs",
+             "--transport", "inline", "--smoke"]
+        )
+        assert args.shards == [2, 8]
+        assert args.partitioners == ["bfs"]
+        assert args.transport == "inline"
+        assert args.smoke
+
 
 class TestCommands:
     def test_run_command(self, capsys):
@@ -159,6 +177,21 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "bit-identical to Dijkstra" in out
         assert "Auto-tuner pick vs best measured" in out
+
+    def test_shard_bench_smoke(self, capsys):
+        assert main(["shard-bench", "--smoke", "--transport", "inline",
+                     "--shards", "2", "--partitioners", "contiguous"]) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical to Dijkstra" in out
+        assert "speedup" in out
+        assert "entries" in out  # communication-volume column
+
+    def test_run_with_sharded_spec(self, capsys):
+        assert main(["run", "ci-ws", "--stepper",
+                     "sharded(shards=3,partitioner=bfs)", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "sharded" in out
+        assert "verified" in out
 
     def test_profile_command_tiny(self, capsys, monkeypatch):
         # shrink the suite to one graph to keep the test fast

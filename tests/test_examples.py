@@ -19,6 +19,7 @@ FAST_EXAMPLES = [
     "road_network_routing.py",
     "query_service.py",
     "dynamic_updates.py",
+    "sharded_execution.py",
 ]
 
 
@@ -30,7 +31,7 @@ def test_example_runs(name, capsys):
 
 
 def test_examples_inventory_complete():
-    """At least the seven documented examples exist and are executable."""
+    """At least the eight documented examples exist and are executable."""
     names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
     assert {
         "quickstart.py",
@@ -40,6 +41,7 @@ def test_examples_inventory_complete():
         "parallel_scaling.py",
         "query_service.py",
         "dynamic_updates.py",
+        "sharded_execution.py",
     } <= names
 
 
