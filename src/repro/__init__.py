@@ -6,6 +6,10 @@ Top-level surface:
 - :mod:`repro.graphblas` — pure-Python/NumPy GraphBLAS (the substrate).
 - :mod:`repro.ir` — the paper's vertex/edge→linear-algebra translation layer.
 - :mod:`repro.graphs` — graph container, generators, datasets, IO.
+- :mod:`repro.kernels` — the shared relaxation-kernel core: per-target
+  min kernels (argsort / O(m) scatter-min), the reusable
+  ``RelaxWorkspace`` arena, and the lazy ``BucketQueue``
+  (``repro-sssp kernel-bench``).
 - :mod:`repro.sssp` — the four delta-stepping implementations + baselines.
 - :mod:`repro.stepping` — the generalized stepping-algorithm framework
   (ρ/radius/Δ* + registry + per-graph auto-tuner).
@@ -37,6 +41,7 @@ __all__ = [
     "graphblas",
     "graphs",
     "datasets",
+    "kernels",
     "sssp",
     "stepping",
     "shard",
@@ -53,7 +58,7 @@ def __getattr__(name):
     """Lazy subpackage loading so ``import repro`` stays light."""
     import importlib
 
-    if name in {"graphblas", "graphs", "sssp", "stepping", "shard", "service", "dynamic", "ir", "parallel", "algorithms", "bench"}:
+    if name in {"graphblas", "graphs", "kernels", "sssp", "stepping", "shard", "service", "dynamic", "ir", "parallel", "algorithms", "bench"}:
         return importlib.import_module(f".{name}", __name__)
     if name == "datasets":
         return importlib.import_module(".graphs.datasets", __name__)

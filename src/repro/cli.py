@@ -13,6 +13,7 @@ serve-bench regenerate the SERVE experiment (batched vs looped throughput)
 mutate-bench regenerate the DYN experiment (incremental repair vs recompute)
 step-bench  regenerate the STEP experiment (stepping portfolio + tuner pick)
 shard-bench regenerate the SHARD experiment (partition-parallel speedup + comm volume)
+kernel-bench regenerate the KERNEL experiment (relaxation kernels vs the seed loop)
 steppers    list the stepping-algorithm registry and Δ strategies
 suite       list the dataset suite with structural statistics
 translate   show the IR translation pipeline + fusion report
@@ -20,8 +21,13 @@ translate   show the IR translation pipeline + fusion report
 
 ``run``, ``query``, and ``serve-bench`` take ``--stepper SPEC`` to pin a
 stepping algorithm — a registry name or a parameterized spec such as
-``"sharded(shards=4,partitioner=bfs)"`` — and ``--auto`` to let the
-per-graph auto-tuner pick.
+``"sharded(shards=4,partitioner=bfs)"`` or ``"delta(kernel=scatter)"`` —
+and ``--auto`` to let the per-graph auto-tuner pick.
+
+Every bench runner (``serve-bench``, ``mutate-bench``, ``step-bench``,
+``shard-bench``, ``kernel-bench``) also writes its rows as
+``BENCH_<NAME>.json`` next to the repo root through the shared writer in
+:mod:`repro.bench.registry` — the machine-readable perf trajectory.
 """
 
 from __future__ import annotations
@@ -96,6 +102,13 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--repeats", type=int, default=3)
     sp.add_argument("--smoke", action="store_true",
                     help="fast CI mode: two smallest suite graphs, one repeat")
+
+    sp = sub.add_parser("kernel-bench", help="run the KERNEL relaxation-kernel experiment")
+    sp.add_argument("--suite", default="ci", choices=["ci", "paper"], help="graph suite (default: ci)")
+    sp.add_argument("--repeats", type=int, default=5)
+    sp.add_argument("--smoke", action="store_true",
+                    help="fast CI gate: two smallest suite graphs; exits non-zero if "
+                         "verification fails or the scatter kernel trails seed by >10%%")
 
     sp = sub.add_parser("steppers", help="list the stepping-algorithm registry")
     sp.add_argument("--list", action="store_true",
@@ -201,17 +214,19 @@ def _cmd_query(args) -> int:
 
 
 def _cmd_serve_bench(args) -> int:
-    from .bench.registry import run_experiment
+    from .bench.registry import render_experiment, run_experiment_rows, write_bench_json
 
-    print(run_experiment(
+    rows = run_experiment_rows(
         "SERVE", suite=args.suite, num_queries=args.queries, repeats=args.repeats,
         stepper=args.stepper, autotune=args.auto,
-    ))
+    )
+    print(render_experiment("SERVE", rows))
+    print(f"wrote {write_bench_json('SERVE', rows)}")
     return 0
 
 
 def _cmd_step_bench(args) -> int:
-    from .bench.registry import EXPERIMENTS
+    from .bench.registry import EXPERIMENTS, write_bench_json
     from .bench.step_bench import render_stepping_portfolio, stepping_portfolio_series
     from .bench.workloads import suite_workloads
 
@@ -223,11 +238,12 @@ def _cmd_step_bench(args) -> int:
     rows = stepping_portfolio_series(workloads, repeats=repeats)
     print(render_stepping_portfolio(rows))
     print(f"claim: {EXPERIMENTS['STEP'].claim}")
+    print(f"wrote {write_bench_json('STEP', rows)}")
     return 0
 
 
 def _cmd_shard_bench(args) -> int:
-    from .bench.registry import EXPERIMENTS
+    from .bench.registry import EXPERIMENTS, write_bench_json
     from .bench.shard_bench import render_sharded_scaling, sharded_scaling_series
     from .bench.workloads import suite_workloads
 
@@ -245,6 +261,38 @@ def _cmd_shard_bench(args) -> int:
     )
     print(render_sharded_scaling(rows))
     print(f"claim: {EXPERIMENTS['SHARD'].claim}")
+    print(f"wrote {write_bench_json('SHARD', rows)}")
+    return 0
+
+
+def _cmd_kernel_bench(args) -> int:
+    from .bench.kernel_bench import (
+        SMOKE_TOLERANCE,
+        kernel_bench_headline,
+        kernel_bench_series,
+        render_kernel_bench,
+    )
+    from .bench.registry import EXPERIMENTS, write_bench_json
+    from .bench.workloads import suite_workloads
+
+    workloads = suite_workloads(args.suite)
+    repeats = args.repeats
+    if args.smoke:
+        workloads = workloads[:2]
+    rows = kernel_bench_series(workloads, repeats=repeats)
+    headline = kernel_bench_headline(rows)
+    print(render_kernel_bench(rows))
+    print(f"claim: {EXPERIMENTS['KERNEL'].claim}")
+    print(f"wrote {write_bench_json('KERNEL', rows, headline=headline)}")
+    if args.smoke and not headline["smoke_ok"]:
+        print(
+            f"KERNEL smoke gate FAILED: verification "
+            f"{'ok' if headline['all_verified'] else 'FAILED'}, scatter worst "
+            f"{headline['scatter_worst_speedup']:.2f}x vs seed "
+            f"(gate: >= {SMOKE_TOLERANCE:.2f}x)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -284,11 +332,13 @@ def _cmd_steppers(args) -> int:
 
 
 def _cmd_mutate_bench(args) -> int:
-    from .bench.registry import run_experiment
+    from .bench.registry import render_experiment, run_experiment_rows, write_bench_json
 
-    print(run_experiment(
+    rows = run_experiment_rows(
         "DYN", suite=args.suite, fractions=tuple(args.fractions), repeats=args.repeats
-    ))
+    )
+    print(render_experiment("DYN", rows))
+    print(f"wrote {write_bench_json('DYN', rows)}")
     return 0
 
 
@@ -342,6 +392,7 @@ def main(argv: list[str] | None = None) -> int:
         "mutate-bench": _cmd_mutate_bench,
         "step-bench": _cmd_step_bench,
         "shard-bench": _cmd_shard_bench,
+        "kernel-bench": _cmd_kernel_bench,
         "steppers": _cmd_steppers,
         "suite": _cmd_suite,
         "translate": _cmd_translate,

@@ -42,8 +42,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graphs.graph import Graph
+from ..kernels import gather_candidates, min_by_target, workspace_for
 from ..sssp.delta import choose_delta
-from ..sssp.fused import _gather_candidates, _min_by_target, split_csr_light_heavy
+from ..sssp.fused import split_csr_light_heavy
 from ..sssp.result import INF
 from .mutations import AppliedUpdates
 
@@ -291,13 +292,14 @@ def repair_sssp(
         counters["updates"] += c["updates"]
     elif dirty.any():
         (ALp, ALi, ALw), (AHp, AHi, AHw) = split_csr_light_heavy(graph, delta)
+        ws = workspace_for(graph)
 
         def relax(indptr, indices, weights, frontier):
-            targets, dists = _gather_candidates(indptr, indices, weights, frontier, d)
+            targets, dists = gather_candidates(indptr, indices, weights, frontier, d, ws)
             if targets is None:
                 return np.empty(0, dtype=np.int64)
             counters["relaxations"] += len(targets)
-            uts, ubest = _min_by_target(targets, dists)
+            uts, ubest = min_by_target(targets, dists, workspace=ws)
             improved = ubest < d[uts]
             uts, ubest = uts[improved], ubest[improved]
             counters["updates"] += len(uts)

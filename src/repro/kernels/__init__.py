@@ -1,0 +1,63 @@
+"""``repro.kernels`` — the shared zero-allocation relaxation-kernel core.
+
+The one implementation of the hot primitives every stepper in this repo
+is built from, extracted from the per-solver copies that used to live in
+``sssp/fused.py``, ``sssp/meyer_sanders.py``, ``sssp/reference.py``,
+``shard/``, and ``service/batch.py``:
+
+=====================================  ====================================
+:mod:`~repro.kernels.minby`            per-target min-reduction kernels —
+                                       the seed ``argsort`` path and the
+                                       O(m) dense ``scatter`` path — one
+                                       registry (:data:`KERNELS`), density
+                                       ``auto`` pick, spec-overridable
+                                       (``"delta(kernel=scatter)"``); plus
+                                       the shared CSR candidate gather
+:mod:`~repro.kernels.workspace`        :class:`RelaxWorkspace` — the
+                                       reusable buffer arena (request
+                                       vector + touched mask, wave
+                                       buffers, iota ramp) that makes
+                                       steady-state phases allocation-free;
+                                       per-graph caching helpers
+                                       (:func:`workspace_for`,
+                                       :func:`cached_row_ids`)
+:mod:`~repro.kernels.bucketq`          :class:`BucketQueue` — the lazy
+                                       bucket index that replaces the
+                                       per-bucket full-``t`` scans in the
+                                       classic Δ-stepper's outer loop
+=====================================  ====================================
+
+The package sits *below* every solver layer (it imports only NumPy), so
+``sssp``, ``stepping``, ``shard``, ``service``, and ``dynamic`` all
+depend on it without cycles.  The KERNEL bench (``repro kernel-bench``)
+races the kernels against the frozen seed implementation and gates on
+bit-identity with Dijkstra.
+"""
+
+from __future__ import annotations
+
+from .bucketq import BucketQueue
+from .minby import (
+    KERNELS,
+    SCATTER_DENSITY,
+    check_kernel,
+    gather_candidates,
+    min_by_target,
+    min_by_target_scatter,
+    min_by_target_sort,
+)
+from .workspace import RelaxWorkspace, cached_row_ids, workspace_for
+
+__all__ = [
+    "BucketQueue",
+    "KERNELS",
+    "SCATTER_DENSITY",
+    "check_kernel",
+    "gather_candidates",
+    "min_by_target",
+    "min_by_target_scatter",
+    "min_by_target_sort",
+    "RelaxWorkspace",
+    "cached_row_ids",
+    "workspace_for",
+]

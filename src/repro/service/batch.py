@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..graphs.graph import Graph
+from ..kernels import RelaxWorkspace, check_kernel, min_by_target
 from ..sssp.delta import choose_delta
 from ..sssp.fused import split_csr_light_heavy
 from ..sssp.result import INF, SSSPResult
@@ -115,18 +116,27 @@ def _check_sources(graph: Graph, sources) -> np.ndarray:
     return src
 
 
-def batch_fused_delta_stepping(graph: Graph, sources, delta: float = 1.0) -> BatchSSSPResult:
+def batch_fused_delta_stepping(
+    graph: Graph, sources, delta: float = 1.0, kernel: str = "scatter"
+) -> BatchSSSPResult:
     """Fused batch engine: scatter-min relaxation waves on the K·n key space.
 
     All state lives in one flat ``float64`` array of length K·n indexed
     by ``key = k·n + v``; relaxation targets stay inside the owning row
-    (``k·n + neighbor``), so one ``np.minimum.at`` resolves the requests
-    of all K searches at once.  The request buffer is allocated once and
-    only its touched keys are reset after each wave, keeping every wave
-    linear in its candidate count.
+    (``k·n + neighbor``), so one pass of the shared scatter-min kernel
+    (:func:`repro.kernels.min_by_target_scatter`, backed by a
+    :class:`~repro.kernels.RelaxWorkspace` sized to the flattened state)
+    resolves the requests of all K searches at once.  The workspace's
+    request buffer is allocated once and only its touched keys are reset
+    after each wave, keeping every wave linear in its candidate count;
+    the kernel's internal thin-wave compaction replaces a full-state
+    scan with a sorted-unique when a wave is sparse.  *kernel* defaults
+    to ``scatter`` (the batching win); ``argsort``/``auto`` are accepted
+    for parity with the single-source engines.
     """
     if delta <= 0:
         raise ValueError("delta must be positive")
+    check_kernel(kernel)
     src = _check_sources(graph, sources)
     K, n = len(src), graph.num_vertices
     if K * n > MAX_STATE_ENTRIES:
@@ -142,10 +152,11 @@ def batch_fused_delta_stepping(graph: Graph, sources, delta: float = 1.0) -> Bat
 
     t = np.full(K * n, INF, dtype=np.float64)
     t[np.arange(K, dtype=np.int64) * n + src] = 0.0
-    req = np.full(K * n, INF, dtype=np.float64)  # reusable request buffer
+    ws = RelaxWorkspace(K * n)  # request buffer + touched mask, reused per wave
     in_bucket = np.zeros(K * n, dtype=bool)
     settled_set = np.zeros(K * n, dtype=bool)
-    # shared 0..total ramp, grown on demand (a wave's total can reach K·E)
+    # shared 0..total ramp, grown on demand (a wave's total can reach K·E);
+    # kept int32 here — half the index traffic of the workspace's int64 ramp
     iota = [np.arange(max(len(ALi), len(AHi), 1), dtype=np.int32)]
     counters = {"buckets": 0, "phases": 0, "relaxations": 0, "updates": 0}
 
@@ -166,19 +177,11 @@ def batch_fused_delta_stepping(graph: Graph, sources, delta: float = 1.0) -> Bat
         targets = np.repeat(base, lengths) + indices[flat]
         dists = np.repeat(t[frontier], lengths) + weights[flat]
         counters["relaxations"] += total
-        # tReq = A' (min.+) frontier, as a scatter-min into the dense
-        # key space (no sort: batching makes the dense buffer pay rent)
-        np.minimum.at(req, targets, dists)
-        if total * 8 < K * n:
-            # thin wave: keep the phase linear in its candidates — a sort
-            # of `total` keys is cheaper than scanning the full state
-            cand = np.unique(targets)
-            imp = req[cand] < t[cand]
-            uts = cand[imp]
-        else:
-            uts = np.nonzero(req < t)[0]
-        ubest = req[uts]
-        req[targets] = INF  # reset only the touched keys
+        # tReq = A' (min.+) frontier — the shared per-target min kernel
+        # over the dense key space (batching makes the buffer pay rent)
+        uts, ubest = min_by_target(targets, dists, workspace=ws, kernel=kernel)
+        improved = ubest < t[uts]
+        uts, ubest = uts[improved], ubest[improved]
         counters["updates"] += len(uts)
         t[uts] = ubest
         if track_bucket:

@@ -36,8 +36,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..kernels import min_by_target
 from ..parallel.pool import WorkerPool, get_pool
-from ..sssp.fused import _min_by_target
 from ..sssp.result import INF
 
 __all__ = [
@@ -177,7 +177,7 @@ class FrontierExchange:
         if len(pending) == 1:
             keys, vals = pending[0]
         else:
-            keys, vals = _min_by_target(
+            keys, vals = min_by_target(
                 np.concatenate([k for k, _ in pending]),
                 np.concatenate([v for _, v in pending]),
             )

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..graphs.graph import Graph
+from ..kernels import cached_row_ids
 from ..parallel.partition import chunk_by_cost
 
 __all__ = [
@@ -93,7 +94,7 @@ def bfs_locality_partition(graph: Graph, num_shards: int) -> np.ndarray:
     if n == 0:
         return np.zeros(0, dtype=np.int64)
     # symmetric adjacency for the traversal only (owners, not edges)
-    src, dst = graph.row_sources(), graph.indices
+    src, dst = cached_row_ids(graph), graph.indices
     both_s = np.concatenate([src, dst]).astype(np.int64)
     both_d = np.concatenate([dst, src]).astype(np.int64)
     order_key = np.argsort(both_s, kind="stable")

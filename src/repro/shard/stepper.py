@@ -35,7 +35,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..graphs.graph import Graph
-from ..sssp.fused import _min_by_target
+from ..kernels import RelaxWorkspace, check_kernel, min_by_target
 from ..sssp.result import INF, SSSPResult
 from ..stepping.base import Stepper, new_counters, register_stepper
 from ..stepping.delta_star import default_delta_star
@@ -124,6 +124,7 @@ class ShardedDeltaStepper(Stepper):
         transport=None,
         pool=None,
         sharded: ShardedGraph | None = None,
+        kernel: str = "auto",
     ) -> SSSPResult:
         n = graph.num_vertices
         if not 0 <= source < n:
@@ -135,7 +136,7 @@ class ShardedDeltaStepper(Stepper):
         counters = self.resolve(
             graph, dist, active, delta=delta, num_shards=num_shards,
             partitioner=partitioner, transport=transport, pool=pool,
-            sharded=sharded,
+            sharded=sharded, kernel=kernel,
         )
         result = SSSPResult(
             distances=dist,
@@ -162,6 +163,7 @@ class ShardedDeltaStepper(Stepper):
         transport=None,
         pool=None,
         sharded: ShardedGraph | None = None,
+        kernel: str = "auto",
     ) -> dict:
         """Run the sharded schedule from a seeded state to quiescence.
 
@@ -174,6 +176,7 @@ class ShardedDeltaStepper(Stepper):
         delta = delta if delta is not None else default_delta_star(graph)
         if delta <= 0:
             raise ValueError("delta must be positive")
+        check_kernel(kernel)
         if partitioner not in PARTITIONERS:
             raise ValueError(
                 f"unknown partitioner {partitioner!r}; known: {', '.join(PARTITIONERS)}"
@@ -203,11 +206,25 @@ class ShardedDeltaStepper(Stepper):
         mask = active.astype(bool, copy=True)
         active[:] = False  # ownership transferred, as with LazyFrontier
         counters = new_counters()
+        # one workspace per shard: steps run concurrently on pooled
+        # transports, and the scatter kernel's dense request vector must
+        # have a single writer (same ownership rule as the outboxes).
+        # The arenas are only material to the scatter kernel, so the
+        # argsort pin skips them entirely, and they are cached on the
+        # (already graph.meta-cached) view so repeated solves reuse them.
+        if kernel == "argsort":
+            shard_ws = None
+        else:
+            shard_ws = sg.meta.get("_relax_workspaces")
+            if shard_ws is None or len(shard_ws) != sg.num_shards:
+                shard_ws = [RelaxWorkspace(graph.num_vertices) for _ in sg.shards]
+                sg.meta["_relax_workspaces"] = shard_ws
 
         def shard_step(shard, bound):
             """One shard's superstep: pop owned in-window work, relax its
             CSR slice to local quiescence, post boundary candidates."""
             c = {"phases": 0, "relaxations": 0, "updates": 0}
+            ws = shard_ws[shard.id] if shard_ws is not None else None
             owned = shard.owned
             take = mask[owned] & (dist[owned] <= bound)
             batch = owned[take]
@@ -232,7 +249,7 @@ class ShardedDeltaStepper(Stepper):
                 int_t, int_d = targets[internal], cand[internal]
                 if len(int_t) == 0:
                     break
-                uts, ubest = _min_by_target(int_t, int_d)
+                uts, ubest = min_by_target(int_t, int_d, workspace=ws, kernel=kernel)
                 improved = ubest < dist[uts]
                 uts, ubest = uts[improved], ubest[improved]
                 c["updates"] += len(uts)
@@ -263,6 +280,7 @@ class ShardedDeltaStepper(Stepper):
 
         counters["params"] = {
             "delta": float(delta),
+            "kernel": kernel,
             "shards": sg.num_shards,
             "partitioner": sg.partitioner,
             "transport": tr.name,

@@ -12,9 +12,27 @@ GraphBLAS calls and fuses:
    candidates instead of three full-vector operations with temporaries.
 
 On top of Fig. 2's structure this removes every intermediate sparse
-object from the hot loop; state lives in three dense arrays (``t``,
-bucket membership, ``S``).  Both fusions are independently toggleable so
-the fusion ablation (ABL-FUSE in DESIGN.md) can attribute the speedup:
+object from the hot loop.  The primitives themselves live in
+:mod:`repro.kernels` and are shared by every stepper in the repo:
+
+- the per-target min runs on either the ``argsort`` kernel (the seed's
+  sort + ``reduceat``) or the O(m) dense ``scatter`` kernel, picked by
+  wave density or pinned via ``kernel=`` (spec spelling:
+  ``"delta(kernel=scatter)"``);
+- all wave temporaries come out of a reusable
+  :class:`~repro.kernels.RelaxWorkspace` arena (per-graph cached), so a
+  steady-state phase allocates no wave-sized array;
+- the outer loop walks a lazy :class:`~repro.kernels.BucketQueue`
+  instead of rescanning all *n* tentative distances per bucket — the
+  phase schedule (and the phase/relaxation/update counters) is
+  unchanged, only the scheduling cost drops from O(n · buckets) to
+  O(improvements).  (``buckets_processed`` counts only non-empty
+  buckets, like the Meyer–Sanders reference; the seed's scan could
+  additionally count phantom empty buckets at misrounded float
+  boundaries.)
+
+Both paper fusions stay independently toggleable so the fusion ablation
+(ABL-FUSE in DESIGN.md) can attribute the speedup:
 
 - ``fuse_relax=False`` materializes ``tReq``/``tless``/``tB`` as full
   dense temporaries with one pass each (the unfused op sequence, minus
@@ -29,6 +47,15 @@ from __future__ import annotations
 import numpy as np
 
 from ..graphs.graph import Graph
+from ..kernels import (
+    BucketQueue,
+    RelaxWorkspace,
+    cached_row_ids,
+    check_kernel,
+    gather_candidates,
+    min_by_target,
+    workspace_for,
+)
 from .instrument import NO_TIMER, StageTimer
 from .result import INF, SSSPResult
 
@@ -40,6 +67,20 @@ __all__ = [
 ]
 
 
+def _compact_csr(graph: Graph, keep: np.ndarray):
+    """Compact the kept adjacency entries into a new CSR triple.
+
+    The row-id expansion is the per-graph cache
+    (:func:`repro.kernels.cached_row_ids`) — computed once per epoch and
+    shared by the light and heavy builds instead of re-expanded per call.
+    """
+    indices, weights = graph.indices, graph.weights
+    n = graph.num_vertices
+    counts = np.bincount(cached_row_ids(graph)[keep], minlength=n)
+    sub_indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+    return sub_indptr, indices[keep], weights[keep]
+
+
 def split_csr_light_heavy(graph: Graph, delta: float, fused: bool = True, timer=NO_TIMER):
     """Split the CSR adjacency into light (≤Δ) and heavy (>Δ) CSR triples.
 
@@ -47,80 +88,33 @@ def split_csr_light_heavy(graph: Graph, delta: float, fused: bool = True, timer=
     ``fused=False``: mimics the GraphBLAS call sequence — each output
     recomputes its own predicate and materializes a masked intermediate.
     """
-    indptr, indices, weights = graph.csr()
-    n = graph.num_vertices
-
-    def build(keep: np.ndarray):
-        counts = np.bincount(
-            np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))[keep],
-            minlength=n,
-        )
-        sub_indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
-        return sub_indptr, indices[keep], weights[keep]
+    weights = graph.weights
 
     if fused:
         with timer.stage("filter:split"):
             light = weights <= delta
-            AL = build(light)
-            AH = build(~light)
+            AL = _compact_csr(graph, light)
+            AH = _compact_csr(graph, ~light)
     else:
         with timer.stage("filter:AL"):
             pred_light = weights <= delta  # pass 1: predicate
             masked_light = np.where(pred_light, weights, 0.0)  # pass 2: Hadamard
-            AL = build(masked_light > 0)  # pass 3: compact
+            AL = _compact_csr(graph, masked_light > 0)  # pass 3: compact
         with timer.stage("filter:AH"):
             pred_heavy = weights > delta
             masked_heavy = np.where(pred_heavy, weights, 0.0)
-            AH = build(masked_heavy > 0)
+            AH = _compact_csr(graph, masked_heavy > 0)
     return AL, AH
-
-
-def _build_sub_csr(graph: Graph, keep: np.ndarray):
-    """Compact the kept entries of the adjacency into a new CSR triple."""
-    indptr, indices, weights = graph.csr()
-    n = graph.num_vertices
-    counts = np.bincount(
-        np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))[keep],
-        minlength=n,
-    )
-    sub_indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
-    return sub_indptr, indices[keep], weights[keep]
 
 
 def build_light_csr(graph: Graph, delta: float):
     """``A_L`` alone — one coarse task of the parallel decomposition."""
-    return _build_sub_csr(graph, graph.weights <= delta)
+    return _compact_csr(graph, graph.weights <= delta)
 
 
 def build_heavy_csr(graph: Graph, delta: float):
     """``A_H`` alone — the other coarse task."""
-    return _build_sub_csr(graph, graph.weights > delta)
-
-
-def _gather_candidates(indptr, indices, weights, frontier, t):
-    """All relaxation requests out of *frontier*: (targets, new distances)."""
-    starts = indptr[frontier]
-    lengths = indptr[frontier + 1] - starts
-    total = int(lengths.sum())
-    if total == 0:
-        return None, None
-    offsets = np.repeat(np.cumsum(lengths) - lengths, lengths)
-    flat = np.arange(total, dtype=np.int64) - offsets + np.repeat(starts, lengths)
-    targets = indices[flat]
-    dists = np.repeat(t[frontier], lengths) + weights[flat]
-    return targets, dists
-
-
-def _min_by_target(targets, dists):
-    """Per-target minimum of the candidate distances (sort + reduceat)."""
-    order = np.argsort(targets, kind="stable")
-    ts = targets[order]
-    ds = dists[order]
-    boundaries = np.empty(len(ts), dtype=bool)
-    boundaries[0] = True
-    np.not_equal(ts[1:], ts[:-1], out=boundaries[1:])
-    starts = np.nonzero(boundaries)[0]
-    return ts[starts], np.minimum.reduceat(ds, starts)
+    return _compact_csr(graph, graph.weights > delta)
 
 
 def fused_delta_stepping(
@@ -130,14 +124,23 @@ def fused_delta_stepping(
     fuse_relax: bool = True,
     fuse_matrix_split: bool = True,
     instrument: bool = False,
+    kernel: str = "auto",
+    workspace: RelaxWorkspace | None = None,
 ) -> SSSPResult:
-    """Sequential fused delta-stepping (the Fig. 3 "Fused C impl." series)."""
+    """Sequential fused delta-stepping (the Fig. 3 "Fused C impl." series).
+
+    *kernel* picks the per-target min kernel (``auto``/``argsort``/
+    ``scatter``, see :mod:`repro.kernels.minby`); *workspace* overrides
+    the per-graph cached buffer arena (embedders that manage their own).
+    """
     if delta <= 0:
         raise ValueError("delta must be positive")
     n = graph.num_vertices
     if not 0 <= source < n:
         raise IndexError(f"source {source} out of range [0, {n})")
+    check_kernel(kernel)
     timer = StageTimer() if instrument else NO_TIMER
+    ws = workspace if workspace is not None else workspace_for(graph)
 
     (ALp, ALi, ALw), (AHp, AHi, AHw) = split_csr_light_heavy(
         graph, delta, fused=fuse_matrix_split, timer=timer
@@ -145,21 +148,24 @@ def fused_delta_stepping(
 
     t = np.full(n, INF, dtype=np.float64)
     t[source] = 0.0
-    in_bucket = np.zeros(n, dtype=bool)
-    settled_set = np.zeros(n, dtype=bool)  # the paper's S
+    # dense scratch for the unfused ablation only; the fused relax needs
+    # no full-length temporaries at all
+    in_bucket = np.zeros(n, dtype=bool) if not fuse_relax else None
     counters = {"buckets": 0, "phases": 0, "relaxations": 0, "updates": 0}
+    bq = BucketQueue(delta)
+    bq.push(np.array([source], dtype=np.int64), np.array([0.0]))
 
     def relax_unfused(indptr, indices, weights, frontier, lo, hi, track_bucket):
         """Unfused variant: full-length dense temporaries, one op per pass
         (the op-by-op shape of Fig. 2, on dense storage)."""
-        targets, dists = _gather_candidates(indptr, indices, weights, frontier, t)
+        targets, dists = gather_candidates(indptr, indices, weights, frontier, t, ws)
         if targets is None:
             return np.empty(0, dtype=np.int64)
         counters["relaxations"] += len(targets)
         # tReq materialized densely (the vxm output temporary)
         with timer.stage("relax:tReq"):
             tReq = np.full(n, INF, dtype=np.float64)
-            uts, ubest = _min_by_target(targets, dists)
+            uts, ubest = min_by_target(targets, dists, workspace=ws, kernel=kernel)
             tReq[uts] = ubest
         # tless = tReq < t (full-vector pass)
         with timer.stage("relax:tless"):
@@ -173,57 +179,72 @@ def fused_delta_stepping(
         with timer.stage("relax:minmerge"):
             counters["updates"] += int(np.count_nonzero(tless))
             np.minimum(t, tReq, out=t)
-        return np.nonzero(tless)[0] if not track_bucket else np.nonzero(in_bucket)[0]
+        if track_bucket:
+            # improvements that left the window wait in the bucket queue;
+            # a light edge (≤Δ) out of a window-i vertex can only land in
+            # bucket i+1, so the hint needs no per-entry bucket index.
+            # in-window ones re-relax this phase loop
+            outside = tless & ~in_bucket
+            bq.push_into(i + 1, np.nonzero(outside)[0])
+            return np.nonzero(in_bucket)[0]
+        improved_v = np.nonzero(tless)[0]
+        bq.push(improved_v, t[improved_v])
+        return improved_v
 
     def relax_fused(indptr, indices, weights, frontier, lo, hi, track_bucket):
         """Fused variant: candidates → per-target min → filtered scatter,
         one pass, no dense temporaries."""
         with timer.stage("relax:fused"):
-            targets, dists = _gather_candidates(indptr, indices, weights, frontier, t)
+            targets, dists = gather_candidates(indptr, indices, weights, frontier, t, ws)
             if targets is None:
                 return np.empty(0, dtype=np.int64)
             counters["relaxations"] += len(targets)
-            uts, ubest = _min_by_target(targets, dists)
+            uts, ubest = min_by_target(targets, dists, workspace=ws, kernel=kernel)
             improved = ubest < t[uts]
             uts = uts[improved]
             ubest = ubest[improved]
             counters["updates"] += len(uts)
             t[uts] = ubest
             if track_bucket:
-                reenter = (ubest >= lo) & (ubest < hi)
+                # every in-window candidate is >= lo (non-negative light
+                # edges out of window-i vertices), so < hi alone decides
+                # re-entry, and non-re-entrants land exactly in bucket i+1
+                reenter = ubest < hi
+                bq.push_into(i + 1, uts[~reenter])
                 return uts[reenter]
+            bq.push(uts, ubest)
             return uts
 
     relax = relax_fused if fuse_relax else relax_unfused
 
-    i = 0
     while True:
         with timer.stage("outer:check"):
-            finite = np.isfinite(t)
-            remaining = finite & (t >= i * delta)
-            if not remaining.any():
+            # the lazy bucket queue hands back the next non-empty bucket
+            # (and its frontier) without rescanning the distance vector
+            i, frontier = bq.pop_bucket(t)
+            if i is None:
                 break
-            # jump to the next non-empty bucket
-            i = max(i, int(t[remaining].min() // delta))
             lo, hi = i * delta, (i + 1) * delta
         counters["buckets"] += 1
-        with timer.stage("filter:bucket"):
-            np.logical_and(t >= lo, t < hi, out=in_bucket)
-            frontier = np.nonzero(in_bucket)[0]
-        settled_set[:] = False
+        # the paper's S, accumulated as the union of this bucket's phase
+        # frontiers — O(settled) per bucket, not an O(n) mask reset + scan
+        settled_chunks = []
         while len(frontier):
             counters["phases"] += 1
-            settled_set[frontier] = True
+            settled_chunks.append(frontier)
             frontier = relax(ALp, ALi, ALw, frontier, lo, hi, track_bucket=True)
             # vertices already settled this bucket do not re-enter the
             # frontier unless their distance actually dropped into range —
             # relax() guarantees improvement, so re-entry is correct.
         with timer.stage("filter:settled"):
-            settled = np.nonzero(settled_set)[0]
+            if len(settled_chunks) <= 1:
+                # a phase frontier is already unique and ascending
+                settled = settled_chunks[0] if settled_chunks else np.empty(0, dtype=np.int64)
+            else:
+                settled = np.unique(np.concatenate(settled_chunks))
         if len(settled):
             counters["phases"] += 1
             relax(AHp, AHi, AHw, settled, lo, hi, track_bucket=False)
-        i += 1
 
     return SSSPResult(
         distances=t,

@@ -42,6 +42,7 @@ from collections import defaultdict
 import numpy as np
 
 from ..graphs.graph import Graph
+from ..kernels import min_by_target
 from .result import INF, SSSPResult
 
 __all__ = ["meyer_sanders_delta_stepping"]
@@ -109,19 +110,13 @@ def meyer_sanders_delta_stepping(
         src_dist = np.repeat(tent[vs], lengths)[sel]
         targets = indices[flat]
         dists = src_dist + weights[flat]
-        # per-target min before the relax sweep (same result, fewer calls)
-        order = np.argsort(targets, kind="stable")
-        ts, ds = targets[order], dists[order]
-        boundaries = np.empty(len(ts), dtype=bool)
-        if len(ts):
-            boundaries[0] = True
-            np.not_equal(ts[1:], ts[:-1], out=boundaries[1:])
-        starts_ = np.nonzero(boundaries)[0]
-        best = np.minimum.reduceat(ds, starts_)
+        # per-target min before the relax sweep (same result, fewer calls);
+        # the shared argsort kernel from repro.kernels
+        uts, best = min_by_target(targets, dists)
         # relax() below counts one per unique target; account the folded
         # duplicates here so strict and vectorized report identical totals
-        counters["relaxations"] += num_requests - len(starts_)
-        return list(zip(ts[starts_].tolist(), best.tolist()))
+        counters["relaxations"] += num_requests - len(uts)
+        return list(zip(uts.tolist(), best.tolist()))
 
     gen_requests = gen_requests_strict if strict else gen_requests_vectorized
     heavy_mask = ~light

@@ -31,10 +31,11 @@ import time
 import numpy as np
 
 from ..graphs.graph import Graph
+from ..kernels import min_by_target
 from ..parallel.partition import chunk_by_cost, chunk_ranges
 from ..parallel.pool import get_pool
 from ..parallel.simulate import SimulatedExecutor
-from .fused import _min_by_target, build_heavy_csr, build_light_csr
+from .fused import build_heavy_csr, build_light_csr
 from .result import INF, SSSPResult
 
 __all__ = ["parallel_delta_stepping"]
@@ -186,7 +187,9 @@ def parallel_delta_stepping(
             flat = np.arange(tot, dtype=np.int64) - offsets + np.repeat(starts, lengths)
             targets = indices[flat]
             dists = np.repeat(t[part], lengths) + weights[flat]
-            return _min_by_target(targets, dists)
+            # chunk tasks run concurrently: no shared workspace, so the
+            # allocation-free argsort kernel is the right default here
+            return min_by_target(targets, dists)
 
         partials = [p for p in ex.batch([_bind_range(work, flo, fhi) for flo, fhi in spans]) if p is not None]
         if not partials:
@@ -197,7 +200,7 @@ def parallel_delta_stepping(
             # sequential merge of per-chunk minima (small: ≤ unique targets)
             all_t = np.concatenate([p[0] for p in partials])
             all_d = np.concatenate([p[1] for p in partials])
-            uts, ubest = _min_by_target(all_t, all_d)
+            uts, ubest = min_by_target(all_t, all_d)
         improved = ubest < t[uts]
         uts, ubest = uts[improved], ubest[improved]
         counters["updates"] += len(uts)

@@ -15,6 +15,7 @@ import heapq
 import numpy as np
 
 from ..graphs.graph import Graph
+from ..kernels import check_kernel, min_by_target, workspace_for
 from .result import INF, SSSPResult
 
 __all__ = ["dijkstra", "bellman_ford"]
@@ -74,18 +75,25 @@ def dijkstra(graph: Graph, source: int, return_predecessors: bool = False) -> SS
     return result
 
 
-def bellman_ford(graph: Graph, source: int, max_rounds: int | None = None) -> SSSPResult:
+def bellman_ford(
+    graph: Graph, source: int, max_rounds: int | None = None, kernel: str = "auto"
+) -> SSSPResult:
     """Edge-centric Bellman–Ford, one vectorized pass over all edges per
     round.
 
     Each round performs the paper's §II.C "operation on all edges
     simultaneously": candidate distances ``dist[src] + w`` are grouped by
-    target with a min-reduction, then merged.  Converges in at most
-    ``V - 1`` rounds; a change in round ``V`` means a negative cycle.
+    target with a min-reduction (the shared :mod:`repro.kernels`
+    primitive — *kernel* picks argsort vs dense scatter-min; the fat
+    all-edge waves here are where the scatter path shines), then merged.
+    Converges in at most ``V - 1`` rounds; a change in round ``V`` means
+    a negative cycle.
     """
     n = graph.num_vertices
     if not 0 <= source < n:
         raise IndexError(f"source {source} out of range [0, {n})")
+    check_kernel(kernel)
+    ws = workspace_for(graph)
     src, dst, w = graph.to_edges()
     dist = np.full(n, INF, dtype=np.float64)
     dist[source] = 0.0
@@ -101,15 +109,7 @@ def bellman_ford(graph: Graph, source: int, max_rounds: int | None = None) -> SS
         cand_dst = dst[active]
         cand_val = dist[src[active]] + w[active]
         relaxations += len(cand_dst)
-        order = np.argsort(cand_dst, kind="stable")
-        cd = cand_dst[order]
-        cv = cand_val[order]
-        boundaries = np.empty(len(cd), dtype=bool)
-        boundaries[0] = True
-        np.not_equal(cd[1:], cd[:-1], out=boundaries[1:])
-        starts = np.nonzero(boundaries)[0]
-        targets = cd[starts]
-        best = np.minimum.reduceat(cv, starts)
+        targets, best = min_by_target(cand_dst, cand_val, workspace=ws, kernel=kernel)
         improved = best < dist[targets]
         if not improved.any():
             break

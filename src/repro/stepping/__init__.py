@@ -128,6 +128,7 @@ register_stepper(FunctionStepper(
     "delta", _fused_auto,
     description="classic fixed-grid delta-stepping, fused kernel (the paper's fast impl.)",
     defaults={"delta": None},  # None = choose_delta; advertises the Δ knob
+    kernel_capable=True,  # "delta(kernel=scatter)" pins the min-by-target kernel
 ))
 register_stepper(FunctionStepper(
     "graphblas", _graphblas_auto,
@@ -141,6 +142,7 @@ register_stepper(FunctionStepper(
 register_stepper(FunctionStepper(
     "bellman-ford", bellman_ford,
     description="edge-centric Bellman-Ford, one vectorized wave per round",
+    kernel_capable=True,
 ))
 
 # the sharded backend registers itself at the bottom of its module; the

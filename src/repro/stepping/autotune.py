@@ -48,8 +48,13 @@ __all__ = ["DEFAULT_CANDIDATES", "ProbeRow", "TuningReport", "AutoTuner", "best_
 #: pin ``transport=threads`` so a consumer executing the pick runs the
 #: same pooled configuration the probe measured — the probe's shared
 #: pool and the spec's transport resolve to the same ``get_pool`` pool.
+#: ``delta(kernel=scatter)`` races the classic stepper with the O(m)
+#: scatter-min kernel pinned, so the per-target-min kernel is one more
+#: knob the tuner settles per graph (the bare names use the density
+#: ``auto`` pick).
 DEFAULT_CANDIDATES = (
     "delta",
+    "delta(kernel=scatter)",
     "delta-star",
     "rho",
     "radius",

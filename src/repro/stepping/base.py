@@ -33,7 +33,7 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from ..graphs.graph import Graph
-from ..sssp.fused import _gather_candidates, _min_by_target
+from ..kernels import gather_candidates, min_by_target
 from ..sssp.result import INF, SSSPResult
 
 __all__ = [
@@ -64,19 +64,24 @@ def new_counters() -> dict:
     return {"steps": 0, "phases": 0, "relaxations": 0, "updates": 0}
 
 
-def relax_wave(indptr, indices, weights, frontier, dist, counters) -> tuple[np.ndarray, np.ndarray]:
+def relax_wave(
+    indptr, indices, weights, frontier, dist, counters, workspace=None, kernel="auto"
+) -> tuple[np.ndarray, np.ndarray]:
     """One relaxation wave: all requests out of *frontier*, min-merged.
 
     The shared relax half of the step/relax contract — the same fused
     gather → per-target min → filtered scatter as the paper's kernel
     (:func:`repro.sssp.fused.fused_delta_stepping`), operating in place
-    on *dist*.  Returns ``(improved_targets, their_new_distances)``.
+    on *dist*.  Both halves run on :mod:`repro.kernels`: *workspace*
+    supplies the reusable wave buffers and *kernel* picks the per-target
+    min implementation (``auto``/``argsort``/``scatter``).  Returns
+    ``(improved_targets, their_new_distances)``.
     """
-    targets, dists = _gather_candidates(indptr, indices, weights, frontier, dist)
+    targets, dists = gather_candidates(indptr, indices, weights, frontier, dist, workspace)
     if targets is None:
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
     counters["relaxations"] += len(targets)
-    uts, ubest = _min_by_target(targets, dists)
+    uts, ubest = min_by_target(targets, dists, workspace=workspace, kernel=kernel)
     improved = ubest < dist[uts]
     uts, ubest = uts[improved], ubest[improved]
     counters["updates"] += len(uts)
@@ -105,6 +110,11 @@ class Stepper(ABC):
         manage their own worker pool; transport specs resolved without
         one fall back to the shared :func:`repro.parallel.pool.get_pool`
         pools.
+    kernel_capable:
+        Whether ``solve``/``resolve`` accept a ``kernel=`` keyword
+        selecting the :mod:`repro.kernels` per-target-min kernel
+        (``"rho(kernel=scatter)"`` in spec spelling); the kernel-
+        equivalence tests race every capable stepper under both kernels.
     """
 
     name: str = "?"
@@ -112,6 +122,7 @@ class Stepper(ABC):
     description: str = ""
     supports_resolve: bool = True
     parallel_capable: bool = False
+    kernel_capable: bool = True
     #: short spec-parameter spellings → the solve() keyword they set
     #: (``"sharded(shards=4)"`` → ``num_shards=4``); consulted by
     #: :func:`resolve_stepper_spec`, empty for most steppers
@@ -172,12 +183,21 @@ class FunctionStepper(Stepper):
 
     kind = "legacy"
     supports_resolve = False
+    kernel_capable = False
 
-    def __init__(self, name: str, fn, description: str = "", defaults: dict | None = None):
+    def __init__(
+        self,
+        name: str,
+        fn,
+        description: str = "",
+        defaults: dict | None = None,
+        kernel_capable: bool = False,
+    ):
         self.name = name
         self.description = description
         self._fn = fn
         self._defaults = dict(defaults or {})
+        self.kernel_capable = kernel_capable
 
     def solve(self, graph: Graph, source: int, **params) -> SSSPResult:
         kw = {**self._defaults, **params}

@@ -30,6 +30,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..graphs.graph import Graph
+from ..kernels import check_kernel, workspace_for
 from ..sssp.delta import choose_delta
 from ..sssp.result import SSSPResult
 from .base import Stepper, new_counters, relax_wave
@@ -58,14 +59,25 @@ class DeltaStarStepper(Stepper):
     name = "delta-star"
     description = "sliding buckets, lazy Bellman-Ford inside (Dong et al. 2021)"
 
-    def solve(self, graph: Graph, source: int, delta: float | None = None) -> SSSPResult:
+    def solve(
+        self, graph: Graph, source: int, delta: float | None = None, kernel: str = "auto"
+    ) -> SSSPResult:
         delta = delta if delta is not None else default_delta_star(graph)
-        return self._seeded_solve(graph, source, method="delta-star", delta=delta)
+        return self._seeded_solve(graph, source, method="delta-star", delta=delta, kernel=kernel)
 
-    def resolve(self, graph: Graph, dist: np.ndarray, active: np.ndarray, delta: float | None = None) -> dict:
+    def resolve(
+        self,
+        graph: Graph,
+        dist: np.ndarray,
+        active: np.ndarray,
+        delta: float | None = None,
+        kernel: str = "auto",
+    ) -> dict:
         delta = delta if delta is not None else default_delta_star(graph)
         if delta <= 0:
             raise ValueError("delta must be positive")
+        check_kernel(kernel)
+        ws = workspace_for(graph)
         indptr, indices, weights = graph.csr()
         frontier = LazyFrontier(dist, active)
         active[:] = False  # ownership transferred to the frontier
@@ -78,7 +90,9 @@ class DeltaStarStepper(Stepper):
             batch = frontier.pop_below(bound)
             while len(batch):
                 counters["phases"] += 1
-                improved, new_d = relax_wave(indptr, indices, weights, batch, dist, counters)
+                improved, new_d = relax_wave(
+                    indptr, indices, weights, batch, dist, counters, workspace=ws, kernel=kernel
+                )
                 in_window = new_d <= bound
                 frontier.push(improved[~in_window])
                 batch = improved[in_window]

@@ -28,6 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..graphs.graph import Graph
+from ..kernels import cached_row_ids, check_kernel, workspace_for
 from ..sssp.result import SSSPResult
 from .base import Stepper, new_counters, relax_wave
 from .frontier import LazyFrontier
@@ -60,7 +61,7 @@ def vertex_radii(graph: Graph, k: int | None = None) -> np.ndarray:
         return radii
     # sort weights within rows: argsort the (row, weight) pairs; row ids
     # are the primary key so each row's weights come out ascending
-    rows = graph.row_sources()
+    rows = cached_row_ids(graph)
     order = np.lexsort((graph.weights, rows))
     sorted_w = graph.weights[order]
     deg = np.diff(graph.indptr)
@@ -82,12 +83,23 @@ class RadiusStepper(Stepper):
     name = "radius"
     description = "per-vertex k-radius precompute bounds each step (Blelloch et al. 2016)"
 
-    def solve(self, graph: Graph, source: int, k: int | None = None) -> SSSPResult:
-        result = self._seeded_solve(graph, source, method="radius-stepping", k=k)
+    def solve(
+        self, graph: Graph, source: int, k: int | None = None, kernel: str = "auto"
+    ) -> SSSPResult:
+        result = self._seeded_solve(graph, source, method="radius-stepping", k=k, kernel=kernel)
         result.extra["k"] = k if k is not None else default_k(graph)
         return result
 
-    def resolve(self, graph: Graph, dist: np.ndarray, active: np.ndarray, k: int | None = None) -> dict:
+    def resolve(
+        self,
+        graph: Graph,
+        dist: np.ndarray,
+        active: np.ndarray,
+        k: int | None = None,
+        kernel: str = "auto",
+    ) -> dict:
+        check_kernel(kernel)
+        ws = workspace_for(graph)
         indptr, indices, weights = graph.csr()
         radii = vertex_radii(graph, k)
         frontier = LazyFrontier(dist, active)
@@ -103,7 +115,9 @@ class RadiusStepper(Stepper):
             batch = frontier.pop_below(bound)
             while len(batch):
                 counters["phases"] += 1
-                improved, new_d = relax_wave(indptr, indices, weights, batch, dist, counters)
+                improved, new_d = relax_wave(
+                    indptr, indices, weights, batch, dist, counters, workspace=ws, kernel=kernel
+                )
                 # improvements inside the range re-relax this step; the
                 # rest wait in the frontier for a later step
                 in_range = new_d <= bound

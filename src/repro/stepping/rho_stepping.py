@@ -25,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..graphs.graph import Graph
+from ..kernels import check_kernel, workspace_for
 from ..sssp.result import SSSPResult
 from .base import Stepper, new_counters, relax_wave
 from .frontier import LazyFrontier
@@ -55,15 +56,26 @@ class RhoStepper(Stepper):
     name = "rho"
     description = "extract the rho nearest active vertices per step (Dong et al. 2021)"
 
-    def solve(self, graph: Graph, source: int, rho: int | None = None) -> SSSPResult:
-        result = self._seeded_solve(graph, source, method="rho-stepping", rho=rho)
+    def solve(
+        self, graph: Graph, source: int, rho: int | None = None, kernel: str = "auto"
+    ) -> SSSPResult:
+        result = self._seeded_solve(graph, source, method="rho-stepping", rho=rho, kernel=kernel)
         result.extra["rho"] = rho if rho is not None else default_rho(graph)
         return result
 
-    def resolve(self, graph: Graph, dist: np.ndarray, active: np.ndarray, rho: int | None = None) -> dict:
+    def resolve(
+        self,
+        graph: Graph,
+        dist: np.ndarray,
+        active: np.ndarray,
+        rho: int | None = None,
+        kernel: str = "auto",
+    ) -> dict:
         rho = rho if rho is not None else default_rho(graph)
         if rho < 1:
             raise ValueError("rho must be >= 1")
+        check_kernel(kernel)
+        ws = workspace_for(graph)
         indptr, indices, weights = graph.csr()
         frontier = LazyFrontier(dist, active)
         active[:] = False  # ownership transferred to the frontier
@@ -72,7 +84,9 @@ class RhoStepper(Stepper):
             counters["steps"] += 1
             counters["phases"] += 1
             batch = frontier.pop_nearest(rho)
-            improved, _ = relax_wave(indptr, indices, weights, batch, dist, counters)
+            improved, _ = relax_wave(
+                indptr, indices, weights, batch, dist, counters, workspace=ws, kernel=kernel
+            )
             frontier.push(improved)
         return counters
 

@@ -136,9 +136,62 @@ class TestShardBench:
             sharded_scaling_series(tiny_workloads[:1], shard_counts=())
 
 
+class TestKernelBench:
+    def test_series_render_and_headline(self, tiny_workloads):
+        from repro.bench.kernel_bench import (
+            kernel_bench_headline,
+            kernel_bench_series,
+            render_kernel_bench,
+        )
+
+        rows = kernel_bench_series(tiny_workloads[:1], repeats=1)
+        variants = {r["variant"] for r in rows}
+        assert {"seed", "argsort", "scatter", "auto"} <= variants
+        assert all(r["verified"] == "ok" for r in rows)
+        head = kernel_bench_headline(rows)
+        assert head["all_verified"] is True
+        assert head["best_speedup"] > 0
+        text = render_kernel_bench(rows)
+        assert "KERNEL" in text
+        assert "seed" in text
+
+    def test_seed_baseline_matches_dijkstra(self, tiny_workloads):
+        from repro.bench.kernel_bench import seed_fused_delta_stepping
+        from repro.sssp.reference import dijkstra
+
+        wl = tiny_workloads[0]
+        r = seed_fused_delta_stepping(wl.graph, wl.source, wl.delta)
+        assert np.array_equal(r.distances, dijkstra(wl.graph, wl.source).distances)
+
+
+class TestBenchJsonWriter:
+    def test_write_and_path_env_override(self, tmp_path, monkeypatch):
+        from repro.bench.registry import bench_json_path, write_bench_json
+
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+        rows = [{"graph": "g", "ms": np.float64(1.5), "n": np.int64(3),
+                 "ok": np.bool_(True)}]
+        path = write_bench_json("STEP", rows, headline={"passed": True})
+        assert path == bench_json_path("STEP")
+        assert path.parent == tmp_path
+        import json
+
+        payload = json.loads(path.read_text())
+        assert payload["experiment"] == "STEP"
+        assert payload["claim"]  # provenance from the registry
+        assert payload["rows"][0] == {"graph": "g", "ms": 1.5, "n": 3, "ok": True}
+        assert payload["headline"] == {"passed": True}
+
+    def test_explicit_directory_wins(self, tmp_path):
+        from repro.bench.registry import write_bench_json
+
+        path = write_bench_json("KERNEL", [], directory=tmp_path)
+        assert path.parent == tmp_path
+
+
 class TestRegistry:
     def test_all_experiments_present(self):
-        assert {"FIG3", "FIG4", "SEC6C", "SERVE", "DYN", "STEP", "SHARD"} <= set(EXPERIMENTS)
+        assert {"FIG3", "FIG4", "SEC6C", "SERVE", "DYN", "STEP", "SHARD", "KERNEL"} <= set(EXPERIMENTS)
 
     def test_experiments_have_claims(self):
         for exp in EXPERIMENTS.values():

@@ -9,6 +9,13 @@ from repro.graphs import generators
 from repro.graphs.graph import Graph
 
 
+@pytest.fixture(autouse=True)
+def _bench_json_to_tmp(tmp_path, monkeypatch):
+    """Point the shared BENCH_<NAME>.json writer at a tmpdir so test runs
+    never overwrite the repo-root perf trajectory."""
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+
+
 @pytest.fixture
 def diamond_graph() -> Graph:
     """The 4-vertex weighted diamond used throughout the unit tests::

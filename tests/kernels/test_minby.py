@@ -1,0 +1,127 @@
+"""Kernel equivalence: argsort and scatter must be interchangeable, bit-for-bit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import (
+    KERNELS,
+    RelaxWorkspace,
+    check_kernel,
+    gather_candidates,
+    min_by_target,
+    min_by_target_scatter,
+    min_by_target_sort,
+)
+
+
+def _both(targets, dists, n):
+    ws = RelaxWorkspace(n)
+    a = min_by_target_sort(targets, dists)
+    b = min_by_target_scatter(targets, dists, ws)
+    return a, b, ws
+
+
+class TestKernelEquivalence:
+    def test_duplicate_targets(self):
+        targets = np.array([3, 1, 3, 3, 1, 0], dtype=np.int64)
+        dists = np.array([5.0, 2.0, 1.5, 9.0, 2.0, 0.25])
+        (ts_a, ds_a), (ts_b, ds_b), _ = _both(targets, dists, 8)
+        assert np.array_equal(ts_a, [0, 1, 3])
+        assert np.array_equal(ds_a, [0.25, 2.0, 1.5])
+        assert np.array_equal(ts_a, ts_b)
+        assert np.array_equal(ds_a, ds_b)
+
+    def test_zero_weight_candidates(self):
+        # equal (zero-derived) distances for one target: both kernels keep it
+        targets = np.array([2, 2, 2], dtype=np.int64)
+        dists = np.array([4.0, 4.0, 4.0])
+        (ts_a, ds_a), (ts_b, ds_b), _ = _both(targets, dists, 4)
+        assert np.array_equal(ts_a, ts_b) and np.array_equal(ds_a, ds_b)
+        assert ds_a[0] == 4.0
+
+    def test_empty_input(self):
+        (ts_a, ds_a), (ts_b, ds_b), _ = _both(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64), 5
+        )
+        assert len(ts_a) == len(ds_a) == len(ts_b) == len(ds_b) == 0
+
+    def test_single_vertex(self):
+        (ts_a, ds_a), (ts_b, ds_b), _ = _both(
+            np.array([0], dtype=np.int64), np.array([1.25]), 1
+        )
+        assert np.array_equal(ts_a, ts_b) and np.array_equal(ds_a, ds_b)
+        assert ts_a[0] == 0 and ds_a[0] == 1.25
+
+    def test_scatter_restores_workspace_invariant(self):
+        targets = np.array([1, 1, 4], dtype=np.int64)
+        dists = np.array([3.0, 2.0, 7.0])
+        _, _, ws = _both(targets, dists, 6)
+        assert np.all(np.isinf(ws.req))
+        assert not ws.touched.any()
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_property_identical_results(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=40))
+        m = data.draw(st.integers(min_value=0, max_value=200))
+        targets = np.asarray(
+            data.draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m)),
+            dtype=np.int64,
+        )
+        # weights quantized to quarters: exercises exact ties (zero-weight
+        # duplicates) without float-noise distraction
+        dists = np.asarray(
+            data.draw(st.lists(st.integers(0, 40), min_size=m, max_size=m)),
+            dtype=np.float64,
+        ) / 4.0
+        (ts_a, ds_a), (ts_b, ds_b), ws = _both(targets, dists, n)
+        assert np.array_equal(ts_a, ts_b)
+        assert np.array_equal(ds_a, ds_b)
+        # the invariant must hold again so the next wave starts clean
+        assert np.all(np.isinf(ws.req)) and not ws.touched.any()
+
+
+class TestDispatch:
+    def test_auto_without_workspace_uses_sort(self, rng):
+        targets = rng.integers(0, 10, size=50)
+        dists = rng.random(50)
+        uts, ubest = min_by_target(targets, dists)  # no workspace: argsort path
+        ref = min_by_target_sort(targets, dists)
+        assert np.array_equal(uts, ref[0]) and np.array_equal(ubest, ref[1])
+
+    def test_explicit_scatter_requires_workspace(self):
+        with pytest.raises(ValueError, match="RelaxWorkspace"):
+            min_by_target(np.array([0]), np.array([1.0]), kernel="scatter")
+
+    def test_unknown_kernel_enumerates_registry(self):
+        with pytest.raises(ValueError) as e:
+            min_by_target(np.array([0]), np.array([1.0]), kernel="quantum")
+        for name in KERNELS:
+            assert name in str(e.value)
+        with pytest.raises(ValueError) as e2:
+            check_kernel("quantum")
+        assert "argsort" in str(e2.value)
+
+    def test_check_kernel_accepts_known(self):
+        for name in ("auto", *KERNELS):
+            assert check_kernel(name) == name
+
+
+class TestGather:
+    def test_matches_manual_expansion(self, diamond_graph):
+        indptr, indices, weights = diamond_graph.csr()
+        t = np.array([0.0, 2.0, np.inf, np.inf])
+        frontier = np.array([0, 1], dtype=np.int64)
+        for ws in (None, RelaxWorkspace(diamond_graph.num_vertices)):
+            targets, dists = gather_candidates(indptr, indices, weights, frontier, t, ws)
+            assert np.array_equal(np.asarray(targets), [1, 2, 2])
+            assert np.allclose(np.asarray(dists), [2.0, 7.0, 5.0])
+
+    def test_edgeless_frontier_returns_none(self):
+        indptr = np.zeros(4, dtype=np.int64)
+        out = gather_candidates(
+            indptr, np.empty(0, dtype=np.int64), np.empty(0), np.array([1, 2]), np.zeros(3)
+        )
+        assert out == (None, None)

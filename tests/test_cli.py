@@ -58,6 +58,12 @@ class TestParser:
         assert args.transport == "threads"
         assert not args.smoke
 
+    def test_kernel_bench_defaults(self):
+        args = build_parser().parse_args(["kernel-bench"])
+        assert args.suite == "ci"
+        assert args.repeats == 5
+        assert not args.smoke
+
     def test_shard_bench_flags(self):
         args = build_parser().parse_args(
             ["shard-bench", "--shards", "2", "8", "--partitioners", "bfs",
@@ -185,6 +191,26 @@ class TestCommands:
         assert "bit-identical to Dijkstra" in out
         assert "speedup" in out
         assert "entries" in out  # communication-volume column
+
+    def test_kernel_bench_smoke(self, capsys, tmp_path):
+        import json
+        import os
+
+        assert main(["kernel-bench", "--smoke", "--repeats", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical to Dijkstra" in out
+        assert "seed" in out and "scatter" in out
+        # the shared writer produced the machine-readable trajectory
+        path = os.path.join(os.environ["REPRO_BENCH_DIR"], "BENCH_KERNEL.json")
+        payload = json.loads(open(path).read())
+        assert payload["experiment"] == "KERNEL"
+        assert payload["headline"]["all_verified"] is True
+        assert any(r["variant"] == "scatter" for r in payload["rows"])
+
+    def test_run_with_kernel_spec(self, capsys):
+        assert main(["run", "ci-ws", "--stepper", "delta(kernel=scatter)", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "verified" in out
 
     def test_run_with_sharded_spec(self, capsys):
         assert main(["run", "ci-ws", "--stepper",
