@@ -37,6 +37,7 @@ monotone.  Processing order cannot change the answer, only the work.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -182,6 +183,7 @@ def repair_sssp(
     delta: float | None = None,
     validate: bool = False,
     stepper: str | None = None,
+    recorder=None,
 ) -> RepairResult:
     """Repair a cached distance vector after one applied update batch.
 
@@ -212,10 +214,47 @@ def repair_sssp(
         identical either way; only the re-relaxation schedule changes,
         so the repaired distances do not.  ``None`` (and ``"delta"``)
         keep the built-in loop.
+    recorder:
+        A truthy :class:`repro.obs.Recorder` wraps the repair in a
+        ``repair`` span (mode, affected, seeds, phases as args),
+        observes the wall time into a ``repair.ms`` histogram, and
+        forwards into the stepper's resolve path.  Recording never
+        changes the repaired distances.
 
     Returns a :class:`RepairResult` whose ``distances`` are bit-identical
     to ``fused_delta_stepping(graph, source, delta).distances``.
     """
+    if not recorder:
+        return _repair_sssp(
+            graph, source, distances, updates,
+            delta=delta, validate=validate, stepper=stepper,
+        )
+    t0 = time.perf_counter()
+    with recorder.span("repair", source=int(source)) as sp:
+        result = _repair_sssp(
+            graph, source, distances, updates,
+            delta=delta, validate=validate, stepper=stepper, recorder=recorder,
+        )
+        sp.set(
+            mode=result.mode, affected=result.affected,
+            seeds=result.seeds, phases=result.phases,
+        )
+    recorder.observe("repair.ms", (time.perf_counter() - t0) * 1e3)
+    recorder.inc("repair.runs")
+    return result
+
+
+def _repair_sssp(
+    graph: Graph,
+    source: int,
+    distances: np.ndarray,
+    updates: AppliedUpdates,
+    delta: float | None = None,
+    validate: bool = False,
+    stepper: str | None = None,
+    recorder=None,
+) -> RepairResult:
+    """:func:`repair_sssp` body (the public wrapper adds the span)."""
     n = graph.num_vertices
     if not 0 <= source < n:
         raise IndexError(f"source {source} out of range [0, {n})")
@@ -285,6 +324,8 @@ def repair_sssp(
             raise ValueError(
                 f"stepper {stepper!r} cannot run seeded repair (no resolve support)"
             )
+        if recorder:
+            params = {**params, "recorder": recorder}
         c = s.resolve(graph, d, dirty, **params)
         counters["buckets"] += c["steps"]
         counters["phases"] += c["phases"]

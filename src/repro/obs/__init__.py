@@ -1,0 +1,68 @@
+"""``repro.obs`` — the unified tracing + metrics substrate.
+
+One observability layer under every subsystem (steppers, kernels,
+shards, service, dynamic repair), replacing the fragmented telemetry
+that grew per PR (``StageTimer`` in the solvers, ``ExchangeStats`` in
+the exchange, bench-only JSON):
+
+=====================================  ====================================
+:mod:`~repro.obs.trace`                :class:`TraceRecorder` — span/
+                                       instant timeline on the monotonic
+                                       clock, thread-id aware, exported
+                                       as Chrome trace-event JSON
+                                       (opens in Perfetto /
+                                       ``chrome://tracing``)
+:mod:`~repro.obs.metrics`              :class:`MetricsRegistry` —
+                                       counters, gauges, fixed-bucket
+                                       latency histograms with
+                                       p50/p90/p99 summaries
+:mod:`~repro.obs.recorder`             :class:`Recorder` — the facade
+                                       threaded through the hot layers
+                                       (``solve_with(recorder=)``,
+                                       ``QueryService(recorder=)``,
+                                       ``repro trace`` / ``--trace``);
+                                       :data:`NO_RECORDER` is the falsy
+                                       disabled path
+:mod:`~repro.obs.stage`                :class:`StageTimer` — the original
+                                       per-stage accounting (§VI.C),
+                                       now bridging into the recorder;
+                                       ``repro.sssp.instrument`` is a
+                                       thin alias of this module
+=====================================  ====================================
+
+The package sits below every solver layer (stdlib only — it imports
+nothing from the rest of the repo, not even NumPy), so anything may
+depend on it without cycles.  Disabled-path cost is CI-gated at <3% on
+the KERNEL bench smoke (``repro trace --overhead-smoke``).
+"""
+
+from __future__ import annotations
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .recorder import NO_RECORDER, NullRecorder, Recorder
+from .stage import NO_TIMER, NullTimer, StageTimer
+from .trace import NO_TRACE, NullTrace, Span, TraceRecorder
+
+__all__ = [
+    "Recorder",
+    "NullRecorder",
+    "NO_RECORDER",
+    "TraceRecorder",
+    "NullTrace",
+    "NO_TRACE",
+    "Span",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "StageTimer",
+    "NullTimer",
+    "NO_TIMER",
+]

@@ -1,0 +1,251 @@
+"""Process-wide metrics: counters, gauges, fixed-bucket latency histograms.
+
+The serving-tier ROADMAP items (SLO-gated latency, exchange-volume
+regressions, kernel-choice drift) all need *aggregates* that survive a
+run, where the trace (:mod:`repro.obs.trace`) records the timeline.
+:class:`MetricsRegistry` is the one named surface for those aggregates:
+
+- :class:`Counter` — monotone event counts (cache hits, repairs run);
+- :class:`Gauge` — last-written values (cache size);
+- :class:`Histogram` — fixed-bucket distributions with p50/p90/p99
+  summaries, sized for millisecond latencies by default (geometric
+  buckets from 1 µs to ~10 min, so one relative-error bound covers both
+  a cache hit and a cold sharded solve).
+
+Instruments are plain-attribute hot paths (``inc`` is one integer add)
+and the registry is get-or-create keyed by name, so call sites never
+pre-declare.  ``snapshot``/``as_dict`` render everything to plain dicts
+for the CLI summary table and the bench JSON; ``reset`` zeroes in place
+(instrument handles stay valid).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from math import ceil, inf
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+]
+
+#: default histogram bucket upper bounds, in milliseconds: geometric
+#: ×2 ladder from 1 µs to ~9 minutes (30 buckets + overflow)
+DEFAULT_LATENCY_BUCKETS_MS = tuple(1e-3 * 2**i for i in range(30))
+
+
+class Counter:
+    """A monotone event counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter<{self.value}>"
+
+
+class Gauge:
+    """A last-value-wins instrument."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Gauge<{self.value}>"
+
+
+class Histogram:
+    """Fixed-bucket distribution with interpolated percentile summaries.
+
+    *buckets* are ascending upper bounds; observations above the last
+    bound land in an overflow bucket.  Exact ``min``/``max``/``sum`` are
+    tracked alongside, and percentile interpolation clamps into
+    ``[min, max]`` — so an empty histogram reports 0, a single sample
+    reports itself at every percentile, and all-same-bucket data never
+    reports a value outside what was actually observed.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, buckets=None):
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_LATENCY_BUCKETS_MS
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram buckets must be a non-empty ascending sequence")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1 = overflow
+        self.count = 0
+        self.total = 0.0
+        self.min = inf
+        self.max = -inf
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def percentile(self, q: float) -> float:
+        """The interpolated *q*-th percentile (0 on an empty histogram)."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = max(1, ceil(q / 100.0 * self.count))
+        cum = 0
+        for idx, c in enumerate(self.counts):
+            if c == 0:
+                continue
+            if cum + c >= target:
+                lo = 0.0 if idx == 0 else self.bounds[idx - 1]
+                hi = self.bounds[idx] if idx < len(self.bounds) else self.max
+                frac = (target - cum) / c
+                value = lo + frac * (hi - lo)
+                return float(min(max(value, self.min), self.max))
+            cum += c
+        return float(self.max)  # pragma: no cover - unreachable (count > 0)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        """count/sum/min/max/mean plus the p50/p90/p99 trio."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = inf
+        self.max = -inf
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Histogram<{self.count} obs, p50={self.percentile(50):.3g}>"
+
+
+class MetricsRegistry:
+    """Named get-or-create registry of counters, gauges, and histograms.
+
+    Creation is locked (call sites race on first touch); the instrument
+    hot paths themselves are single plain-attribute operations, which
+    under the GIL is the same trade the rest of the repo makes for its
+    counters.  One name maps to exactly one instrument kind — asking for
+    a counter under an existing histogram name raises.
+    """
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def _check_free(self, name: str, kind: dict) -> None:
+        for store in (self._counters, self._gauges, self._histograms):
+            if store is not kind and name in store:
+                raise ValueError(f"metric {name!r} already registered as another kind")
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            with self._lock:
+                c = self._counters.get(name)
+                if c is None:
+                    self._check_free(name, self._counters)
+                    c = self._counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            with self._lock:
+                g = self._gauges.get(name)
+                if g is None:
+                    self._check_free(name, self._gauges)
+                    g = self._gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str, buckets=None) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            with self._lock:
+                h = self._histograms.get(name)
+                if h is None:
+                    self._check_free(name, self._histograms)
+                    h = self._histograms[name] = Histogram(buckets)
+        return h
+
+    # -- convenience single-call forms --------------------------------------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counter(name).inc(n)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -- reporting -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Everything, as plain dicts: ``{"counters": {...}, "gauges":
+        {...}, "histograms": {name: summary}}``."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+            "histograms": {k: h.summary() for k, h in sorted(self._histograms.items())},
+        }
+
+    def as_dict(self) -> dict:
+        """Alias of :meth:`snapshot` (the :class:`StageTimer` spelling)."""
+        return self.snapshot()
+
+    def reset(self) -> None:
+        """Zero every instrument in place (handles stay valid)."""
+        with self._lock:
+            for store in (self._counters, self._gauges, self._histograms):
+                for inst in store.values():
+                    inst.reset()
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MetricsRegistry<{len(self._counters)}c/"
+            f"{len(self._gauges)}g/{len(self._histograms)}h>"
+        )

@@ -1,0 +1,123 @@
+"""The :class:`Recorder` facade: one handle threaded through the hot layers.
+
+A recorder bundles the two observability surfaces —
+
+- a :class:`~repro.obs.trace.TraceRecorder` (the timeline: spans and
+  instants, Chrome-trace exportable), and
+- a :class:`~repro.obs.metrics.MetricsRegistry` (the aggregates:
+  counters, gauges, latency histograms)
+
+— behind the small vocabulary the instrumented layers use: ``span``,
+``instant``, ``inc``, ``observe``, ``set_gauge``.  Every choke point in
+the repo takes ``recorder=None`` and guards with plain truthiness::
+
+    if recorder:
+        with recorder.span("relax-wave", kernel=kernel) as sp:
+            ...
+
+so the disabled path (``None`` *or* :data:`NO_RECORDER`) costs one falsy
+check — the same contract the ``NO_TIMER`` null timer established, now
+CI-gated at <3% on the KERNEL bench smoke (``repro trace
+--overhead-smoke``).  :data:`NO_RECORDER` exists for call sites that
+want an always-valid object to forward rather than a ``None`` sentinel;
+it is falsy, and every method is a no-op.
+"""
+
+from __future__ import annotations
+
+from .metrics import MetricsRegistry
+from .trace import _NULL_SPAN, Span, TraceRecorder
+
+__all__ = ["Recorder", "NullRecorder", "NO_RECORDER"]
+
+
+class Recorder:
+    """Unified tracing + metrics handle (see module docstring).
+
+    Pass ``trace=``/``metrics=`` to share either half across recorders
+    (e.g. one process-wide registry under several per-request traces);
+    omitted halves are created fresh.
+    """
+
+    enabled = True
+
+    def __init__(self, trace: TraceRecorder | None = None, metrics: MetricsRegistry | None = None):
+        self.trace = trace if trace is not None else TraceRecorder()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    def __bool__(self) -> bool:
+        return True
+
+    # -- tracing -------------------------------------------------------------
+
+    def span(self, name: str, **args) -> Span:
+        return self.trace.span(name, **args)
+
+    def instant(self, name: str, **args) -> None:
+        self.trace.instant(name, **args)
+
+    # -- metrics -------------------------------------------------------------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self.metrics.inc(name, n)
+
+    def observe(self, name: str, value: float) -> None:
+        self.metrics.observe(name, value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.metrics.set_gauge(name, value)
+
+    # -- reporting -----------------------------------------------------------
+
+    def write_trace(self, path, process_name: str = "repro") -> str:
+        """Export the trace as Chrome trace-event JSON; returns the path."""
+        return self.trace.write(path, process_name=process_name)
+
+    def summary(self) -> dict:
+        """The metrics snapshot (counters/gauges/histogram summaries)."""
+        return self.metrics.snapshot()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Recorder<{len(self.trace)} events, {len(self.metrics)} metrics>"
+
+
+class NullRecorder:
+    """Disabled recorder: falsy, every method a no-op.
+
+    ``trace``/``metrics`` are ``None`` — instrumented code must gate on
+    the recorder's truthiness before touching either, which is also what
+    keeps the disabled path at one branch per choke point.
+    """
+
+    __slots__ = ()
+    enabled = False
+    trace = None
+    metrics = None
+
+    def __bool__(self) -> bool:
+        return False
+
+    def span(self, _name: str, **_args):
+        return _NULL_SPAN
+
+    def instant(self, _name: str, **_args) -> None:
+        pass
+
+    def inc(self, _name: str, _n: int = 1) -> None:
+        pass
+
+    def observe(self, _name: str, _value: float) -> None:
+        pass
+
+    def set_gauge(self, _name: str, _value: float) -> None:
+        pass
+
+    def write_trace(self, _path, process_name: str = "repro") -> None:
+        return None
+
+    def summary(self) -> dict:
+        return {}
+
+
+#: shared disabled-recorder singleton
+NO_RECORDER = NullRecorder()

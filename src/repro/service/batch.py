@@ -311,7 +311,9 @@ def batch_graphblas_delta_stepping(graph: Graph, sources, delta: float = 1.0) ->
     )
 
 
-def batch_stepper_loop(graph: Graph, sources, stepper: str = "rho") -> BatchSSSPResult:
+def batch_stepper_loop(
+    graph: Graph, sources, stepper: str = "rho", recorder=None
+) -> BatchSSSPResult:
     """K independent runs of a registered stepper, packaged as a batch.
 
     The adapter that lets the multi-source engine dispatch to **any**
@@ -322,12 +324,15 @@ def batch_stepper_loop(graph: Graph, sources, stepper: str = "rho") -> BatchSSSP
     *stepper* may carry spec params (``"sharded(shards=2)"``) — the
     auto-tuner's picks arrive in that spelling.  Counters aggregate
     across the K runs; phases here count per-source waves (there is no
-    batching win to report).
+    batching win to report).  A truthy *recorder* (:mod:`repro.obs`)
+    forwards into every per-source solve.
     """
     from ..stepping import resolve_stepper_spec
 
     src = _check_sources(graph, sources)
     s, params = resolve_stepper_spec(stepper)
+    if recorder:
+        params = {**params, "recorder": recorder}
     K, n = len(src), graph.num_vertices
     distances = np.full((K, n), INF, dtype=np.float64)
     counters = {"buckets": 0, "phases": 0, "relaxations": 0, "updates": 0}
@@ -365,6 +370,7 @@ def batch_delta_stepping(
     sources,
     delta: float | None = None,
     method: str = "fused",
+    recorder=None,
 ) -> BatchSSSPResult:
     """Run SSSP from all *sources*, batched where the method supports it.
 
@@ -386,6 +392,11 @@ def batch_delta_stepping(
         name or a parameterized form like ``"sharded(shards=4)"``.
         ``"delta"`` maps to the native fused engine, the rest run
         through :func:`batch_stepper_loop`.
+    recorder:
+        A truthy :class:`repro.obs.Recorder` wraps the native batch
+        engines in a ``batch:<method>`` span (sources count as an arg)
+        and forwards into stepper-dispatched solves.  Recording never
+        changes the distances.
     """
     from ..stepping import STEPPERS, parse_stepper_spec
 
@@ -399,8 +410,15 @@ def batch_delta_stepping(
             )
         if delta is None:
             delta = choose_delta(graph)
+        if recorder:
+            with recorder.span(
+                "batch:" + name, sources=int(np.size(np.asarray(sources)))
+            ) as sp:
+                result = BATCH_METHODS[name](graph, sources, delta)
+                sp.set(phases=result.phases, relaxations=result.relaxations)
+            return result
         return BATCH_METHODS[name](graph, sources, delta)
     if name in STEPPERS:
-        return batch_stepper_loop(graph, sources, stepper=method)
+        return batch_stepper_loop(graph, sources, stepper=method, recorder=recorder)
     known = ", ".join(dict.fromkeys([*sorted(BATCH_METHODS), *STEPPERS]))
     raise ValueError(f"unknown batch method {method!r}; known: {known}")

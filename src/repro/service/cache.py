@@ -69,7 +69,7 @@ class DistanceCache:
     queue.
     """
 
-    def __init__(self, capacity: int = 128):
+    def __init__(self, capacity: int = 128, metrics=None):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
@@ -81,6 +81,28 @@ class DistanceCache:
         self._misses = 0
         self._evictions = 0
         self._invalidations = 0
+        self._metrics = metrics  # a repro.obs MetricsRegistry, or None
+
+    # -- metrics mirror ----------------------------------------------------
+
+    def bind_metrics(self, metrics) -> None:
+        """Mirror the counters into a :class:`repro.obs.MetricsRegistry`.
+
+        ``cache.hits`` / ``cache.misses`` / ``cache.evictions`` /
+        ``cache.invalidations`` counters plus a ``cache.size`` gauge.
+        A no-op when a registry is already bound (the first binding
+        wins, so a shared cache is not double-counted).
+        """
+        if self._metrics is None and metrics is not None:
+            self._metrics = metrics
+
+    def _tick(self, name: str, amount: int = 1) -> None:
+        if self._metrics is not None:
+            self._metrics.inc(f"cache.{name}", amount)
+
+    def _gauge_size(self) -> None:
+        if self._metrics is not None:
+            self._metrics.set_gauge("cache.size", len(self._entries))
 
     # -- graph identity ----------------------------------------------------
 
@@ -111,9 +133,11 @@ class DistanceCache:
             dist = self._entries.get(key)
             if dist is None:
                 self._misses += 1
+                self._tick("misses")
                 return None
             self._entries.move_to_end(key)
             self._hits += 1
+            self._tick("hits")
             return dist
 
     def put(self, graph: Graph, source: int, weight_mode: str, distances: np.ndarray) -> np.ndarray:
@@ -133,6 +157,8 @@ class DistanceCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+                self._tick("evictions")
+            self._gauge_size()
         return dist
 
     def invalidate(self, graph: Graph) -> int:
@@ -156,6 +182,8 @@ class DistanceCache:
                 del self._entries[key]
             if stale:
                 self._invalidations += 1
+                self._tick("invalidations")
+                self._gauge_size()
             return len(stale)
 
     def take_entries(self, graph: Graph) -> dict[tuple[int, str], np.ndarray]:
@@ -179,6 +207,7 @@ class DistanceCache:
                 entry = self._entries.pop(key)
                 if key[:3] == token:
                     taken[(key[3], key[4])] = entry
+            self._gauge_size()
             return taken
 
     def clear(self) -> None:
@@ -186,6 +215,7 @@ class DistanceCache:
         with self._lock:
             self._entries.clear()
             self._hits = self._misses = self._evictions = self._invalidations = 0
+            self._gauge_size()
 
     def __len__(self) -> int:
         with self._lock:

@@ -141,6 +141,14 @@ class QueryService:
         Optional pre-configured :class:`repro.stepping.AutoTuner`
         (implies ``autotune``); pass a shared instance to pool probe
         results across services.
+    recorder:
+        A truthy :class:`repro.obs.Recorder` traces every drain round
+        (``service:drain`` / ``service:plan`` / ``service:batch-solve``
+        spans, forwarded into the solves), feeds the per-query and
+        mutation latencies into ``service.query_ms`` /
+        ``service.mutate_ms`` histograms, and binds the cache's
+        hit/miss/eviction counters to the recorder's metrics registry.
+        Recording never changes any answer.
     """
 
     def __init__(
@@ -157,12 +165,20 @@ class QueryService:
         stepper: str | None = None,
         autotune: bool = False,
         tuner=None,
+        recorder=None,
     ):
         self.graph = graph
         self.weight_mode = weight_mode
+        self.recorder = recorder if recorder else None
         self._delta_auto = delta is None
         self.delta = delta if delta is not None else choose_delta(graph)
-        self.cache = cache if cache is not None else DistanceCache()
+        if cache is None:
+            cache = DistanceCache(
+                metrics=self.recorder.metrics if self.recorder is not None else None
+            )
+        elif self.recorder is not None:
+            cache.bind_metrics(self.recorder.metrics)
+        self.cache = cache
         self.landmarks = landmarks
         self.planner = planner if planner is not None else QueryPlanner(
             max_batch_size=max_batch_size,
@@ -215,14 +231,43 @@ class QueryService:
         queries, self._pending = self._pending, []
         if not queries:
             return []
+        rec = self.recorder
+        if rec is None:
+            return self._drain_round(queries)
+        with rec.span("service:drain", queries=len(queries)) as sp:
+            responses = self._drain_round(queries)
+            sp.set(exact=sum(1 for r in responses if r.exact))
+        for r in responses:
+            rec.observe("service.query_ms", r.latency_ms)
+        rec.inc("service.queries", len(responses))
+        return responses
+
+    def _drain_round(self, queries: list[Query]) -> list[QueryResponse]:
+        """One planning/execution round (:meth:`drain` adds the spans)."""
+        rec = self.recorder
         t0 = time.perf_counter()
-        plan = self.planner.plan(
-            queries,
-            cache=self.cache,
-            graph=self.graph,
-            weight_mode=self.weight_mode,
-            has_landmarks=self.landmarks is not None,
-        )
+        if rec is not None:
+            with rec.span("service:plan", queries=len(queries)) as sp:
+                plan = self.planner.plan(
+                    queries,
+                    cache=self.cache,
+                    graph=self.graph,
+                    weight_mode=self.weight_mode,
+                    has_landmarks=self.landmarks is not None,
+                )
+                sp.set(
+                    batches=len(plan.batches),
+                    cached=len(plan.cached),
+                    approximate=len(plan.approximate),
+                )
+        else:
+            plan = self.planner.plan(
+                queries,
+                cache=self.cache,
+                graph=self.graph,
+                weight_mode=self.weight_mode,
+                has_landmarks=self.landmarks is not None,
+            )
         if self.tuner is not None and plan.batches and plan.stepper is None:
             # tuned routing: probe once per graph epoch (the tuner caches),
             # install the winner; a mutation clears it for re-tuning.  The
@@ -261,12 +306,22 @@ class QueryService:
     def _execute(self, plan: QueryPlan) -> dict[int, np.ndarray]:
         """Run the plan's batch solves; returns source → distance vector."""
         solved: dict[int, np.ndarray] = {}
+        rec = self.recorder
         method = plan.stepper or self.batch_method
         for batch in plan.batches:
             t0 = time.perf_counter()
-            result = batch_delta_stepping(
-                self.graph, batch, delta=self.delta, method=method
-            )
+            if rec is not None:
+                with rec.span(
+                    "service:batch-solve", batch=len(batch), method=str(method)
+                ):
+                    result = batch_delta_stepping(
+                        self.graph, batch, delta=self.delta, method=method,
+                        recorder=rec,
+                    )
+            else:
+                result = batch_delta_stepping(
+                    self.graph, batch, delta=self.delta, method=method
+                )
             self.planner.record_solve(
                 len(batch), (time.perf_counter() - t0) * 1e3
             )
@@ -338,6 +393,23 @@ class QueryService:
         model resets.  Pending (submitted, undrained) queries are
         answered against the post-mutation graph.
         """
+        rec = self.recorder
+        if rec is None:
+            return self._mutate(inserts, deletes, reweights, repair, strict)
+        t0 = time.perf_counter()
+        with rec.span("service:mutate") as sp:
+            report = self._mutate(inserts, deletes, reweights, repair, strict)
+            sp.set(
+                updates=report.applied.num_updates,
+                repaired=report.repaired_entries,
+                epoch=report.epoch,
+            )
+        rec.observe("service.mutate_ms", (time.perf_counter() - t0) * 1e3)
+        rec.inc("service.mutations")
+        return report
+
+    def _mutate(self, inserts, deletes, reweights, repair, strict) -> MutationReport:
+        """:meth:`mutate` body (the public wrapper adds span + histogram)."""
         if repair not in ("hot", "drop"):
             raise ValueError(f"unknown repair policy {repair!r}; known: hot, drop")
         harvested = self.cache.take_entries(self.graph)
@@ -357,7 +429,10 @@ class QueryService:
         for (source, wmode), dist in harvested.items():
             if repair != "hot" or wmode != self.weight_mode:
                 continue
-            result = repair_sssp(self.graph, source, dist, applied, delta=self.delta)
+            result = repair_sssp(
+                self.graph, source, dist, applied, delta=self.delta,
+                recorder=self.recorder,
+            )
             self.cache.put(self.graph, source, wmode, result.distances)
             repaired += 1
         if self.landmarks is not None:

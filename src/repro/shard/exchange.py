@@ -32,7 +32,7 @@ by implementing the same two-method surface.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -65,12 +65,18 @@ class ExchangeStats:
     an actual wire would carry, ``entries_applied`` the deliveries that
     improved the owner's tentative distance.  ``exchanges`` counts flush
     rounds (one per superstep that had boundary traffic to move).
+
+    Besides the aggregates, every flush round appends its own row —
+    :meth:`per_superstep` — so the wire profile over the run's lifetime
+    (the burst shape a real transport must absorb, ``bytes_carried``
+    included) is inspectable, not just its sum.
     """
 
     exchanges: int = 0
     entries_posted: int = 0
     entries_carried: int = 0
     entries_applied: int = 0
+    rounds: list = field(default_factory=list)
 
     @property
     def bytes_carried(self) -> int:
@@ -91,10 +97,38 @@ class ExchangeStats:
             "bytes_carried": self.bytes_carried,
         }
 
+    def record_round(self, posted: int, carried: int, applied: int) -> None:
+        """Append one flush round's row (and fold it into the aggregates)."""
+        self.exchanges += 1
+        self.entries_posted += posted
+        self.entries_carried += carried
+        self.entries_applied += applied
+        self.rounds.append(
+            {
+                "superstep": len(self.rounds),
+                "entries_posted": posted,
+                "entries_carried": carried,
+                "entries_applied": applied,
+                "bytes_carried": carried * ENTRY_BYTES,
+            }
+        )
+
+    def per_superstep(self) -> list[dict]:
+        """Per-flush-round breakdown, in superstep order.
+
+        Each row carries ``superstep`` (0-based flush index) plus the
+        same four volume keys as :meth:`as_dict`; summing any column
+        over the rows reproduces the matching aggregate exactly (the
+        rows *are* the aggregates' ledger — same increments, one row
+        per round).
+        """
+        return [dict(row) for row in self.rounds]
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"ExchangeStats<{self.exchanges} exchanges, "
-            f"{self.entries_carried}/{self.entries_posted} carried/posted>"
+            f"{self.entries_carried}/{self.entries_posted} carried/posted, "
+            f"{self.bytes_carried} bytes>"
         )
 
 
@@ -168,12 +202,13 @@ class FrontierExchange:
         Returns the (sorted, unique) vertices whose tentative distance
         improved — the next step's incoming frontier.
         """
-        self.stats.entries_posted += sum(box.posted for box in self.outboxes)
+        posted = sum(box.posted for box in self.outboxes)
         pending = [box.take() for box in self.outboxes if box]
         if not pending:
+            # a non-empty post always marks its outbox touched, so no
+            # pending boxes means nothing was posted — no round to log
             return np.empty(0, dtype=np.int64)
-        self.stats.exchanges += 1
-        self.stats.entries_carried += sum(len(k) for k, _ in pending)
+        carried = sum(len(k) for k, _ in pending)
         if len(pending) == 1:
             keys, vals = pending[0]
         else:
@@ -184,7 +219,7 @@ class FrontierExchange:
         improved = vals < dist[keys]
         keys, vals = keys[improved], vals[improved]
         dist[keys] = vals
-        self.stats.entries_applied += len(keys)
+        self.stats.record_round(posted, carried, len(keys))
         return keys
 
 

@@ -125,6 +125,7 @@ class ShardedDeltaStepper(Stepper):
         pool=None,
         sharded: ShardedGraph | None = None,
         kernel: str = "auto",
+        recorder=None,
     ) -> SSSPResult:
         n = graph.num_vertices
         if not 0 <= source < n:
@@ -133,11 +134,19 @@ class ShardedDeltaStepper(Stepper):
         dist[source] = 0.0
         active = np.zeros(n, dtype=bool)
         active[source] = True
-        counters = self.resolve(
-            graph, dist, active, delta=delta, num_shards=num_shards,
-            partitioner=partitioner, transport=transport, pool=pool,
-            sharded=sharded, kernel=kernel,
-        )
+        if recorder:
+            with recorder.span("solve:sharded", stepper=self.name, source=int(source)):
+                counters = self.resolve(
+                    graph, dist, active, delta=delta, num_shards=num_shards,
+                    partitioner=partitioner, transport=transport, pool=pool,
+                    sharded=sharded, kernel=kernel, recorder=recorder,
+                )
+        else:
+            counters = self.resolve(
+                graph, dist, active, delta=delta, num_shards=num_shards,
+                partitioner=partitioner, transport=transport, pool=pool,
+                sharded=sharded, kernel=kernel,
+            )
         result = SSSPResult(
             distances=dist,
             source=source,
@@ -164,6 +173,7 @@ class ShardedDeltaStepper(Stepper):
         pool=None,
         sharded: ShardedGraph | None = None,
         kernel: str = "auto",
+        recorder=None,
     ) -> dict:
         """Run the sharded schedule from a seeded state to quiescence.
 
@@ -172,6 +182,13 @@ class ShardedDeltaStepper(Stepper):
         and ``"comm"`` (the exchange's communication-volume counters) —
         extra keys the framework consumers ignore and the SHARD bench
         reads.
+
+        A truthy *recorder* gets three span layers per superstep: one
+        ``superstep`` span (window bound, phase count, re-activations),
+        one ``shard-step`` span per shard — emitted from whatever thread
+        the transport ran the step on, so pooled runs show real overlap
+        in the trace — and one ``exchange`` span carrying this round's
+        :class:`~repro.shard.exchange.ExchangeStats` deltas.
         """
         delta = delta if delta is not None else default_delta_star(graph)
         if delta <= 0:
@@ -223,6 +240,14 @@ class ShardedDeltaStepper(Stepper):
         def shard_step(shard, bound):
             """One shard's superstep: pop owned in-window work, relax its
             CSR slice to local quiescence, post boundary candidates."""
+            if recorder:
+                with recorder.span("shard-step", shard=int(shard.id)) as sp:
+                    c = _shard_step(shard, bound)
+                    sp.set(**c)
+                return c
+            return _shard_step(shard, bound)
+
+        def _shard_step(shard, bound):
             c = {"phases": 0, "relaxations": 0, "updates": 0}
             ws = shard_ws[shard.id] if shard_ws is not None else None
             owned = shard.owned
@@ -267,6 +292,12 @@ class ShardedDeltaStepper(Stepper):
                 break
             bound = peek + delta
             counters["steps"] += 1
+            sspan = None
+            if recorder:
+                p0 = counters["phases"]
+                sspan = recorder.span(
+                    "superstep", step=int(counters["steps"]), bound=float(bound)
+                ).__enter__()
             per_shard = tr.run(
                 [_bind_step(shard_step, shard, bound) for shard in sg.shards]
             )
@@ -274,9 +305,18 @@ class ShardedDeltaStepper(Stepper):
                 counters["phases"] += c["phases"]
                 counters["relaxations"] += c["relaxations"]
                 counters["updates"] += c["updates"]
-            incoming = ex.flush(dist)
+            if recorder:
+                pre = ex.stats.as_dict()
+                with recorder.span("exchange", step=int(counters["steps"])) as xspan:
+                    incoming = ex.flush(dist)
+                xspan.set(**{k: ex.stats.as_dict()[k] - v for k, v in pre.items()})
+            else:
+                incoming = ex.flush(dist)
             counters["updates"] += len(incoming)
             mask[incoming] = True
+            if sspan is not None:
+                sspan.set(phases=counters["phases"] - p0, activated=int(len(incoming)))
+                sspan.__exit__(None, None, None)
 
         counters["params"] = {
             "delta": float(delta),
@@ -288,6 +328,7 @@ class ShardedDeltaStepper(Stepper):
             "cut_fraction": sg.cut_fraction,
         }
         counters["comm"] = ex.stats.as_dict()
+        counters["comm"]["per_superstep"] = ex.stats.per_superstep()
         return counters
 
     def default_params(self, graph: Graph) -> dict:

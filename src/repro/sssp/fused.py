@@ -126,12 +126,18 @@ def fused_delta_stepping(
     instrument: bool = False,
     kernel: str = "auto",
     workspace: RelaxWorkspace | None = None,
+    recorder=None,
 ) -> SSSPResult:
     """Sequential fused delta-stepping (the Fig. 3 "Fused C impl." series).
 
     *kernel* picks the per-target min kernel (``auto``/``argsort``/
     ``scatter``, see :mod:`repro.kernels.minby`); *workspace* overrides
     the per-graph cached buffer arena (embedders that manage their own).
+    A truthy *recorder* (:mod:`repro.obs`) turns the :class:`StageTimer`
+    stages into trace spans and adds one ``bucket`` span per non-empty
+    bucket (index, frontier size, phase count) — the per-bucket timeline
+    the §VI.C stage totals can't show.  Recording never changes the
+    schedule or the distances.
     """
     if delta <= 0:
         raise ValueError("delta must be positive")
@@ -139,7 +145,7 @@ def fused_delta_stepping(
     if not 0 <= source < n:
         raise IndexError(f"source {source} out of range [0, {n})")
     check_kernel(kernel)
-    timer = StageTimer() if instrument else NO_TIMER
+    timer = StageTimer(recorder=recorder) if (instrument or recorder) else NO_TIMER
     ws = workspace if workspace is not None else workspace_for(graph)
 
     (ALp, ALi, ALw), (AHp, AHi, AHw) = split_csr_light_heavy(
@@ -194,7 +200,7 @@ def fused_delta_stepping(
     def relax_fused(indptr, indices, weights, frontier, lo, hi, track_bucket):
         """Fused variant: candidates → per-target min → filtered scatter,
         one pass, no dense temporaries."""
-        with timer.stage("relax:fused"):
+        with timer.stage("relax:fused", kernel=kernel, wave=int(len(frontier))):
             targets, dists = gather_candidates(indptr, indices, weights, frontier, t, ws)
             if targets is None:
                 return np.empty(0, dtype=np.int64)
@@ -226,6 +232,12 @@ def fused_delta_stepping(
                 break
             lo, hi = i * delta, (i + 1) * delta
         counters["buckets"] += 1
+        bspan = None
+        if recorder:
+            p0 = counters["phases"]
+            bspan = recorder.span(
+                "bucket", index=int(i), frontier=int(len(frontier))
+            ).__enter__()
         # the paper's S, accumulated as the union of this bucket's phase
         # frontiers — O(settled) per bucket, not an O(n) mask reset + scan
         settled_chunks = []
@@ -245,6 +257,9 @@ def fused_delta_stepping(
         if len(settled):
             counters["phases"] += 1
             relax(AHp, AHi, AHw, settled, lo, hi, track_bucket=False)
+        if bspan is not None:
+            bspan.set(phases=counters["phases"] - p0, settled=int(len(settled)))
+            bspan.__exit__(None, None, None)
 
     return SSSPResult(
         distances=t,

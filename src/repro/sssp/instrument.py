@@ -1,111 +1,14 @@
-"""Stage-level timing instrumentation.
+"""Stage-level timing instrumentation — now a thin alias of :mod:`repro.obs.stage`.
 
-The paper's §VI.C argument ("the matrix filtering operations on A_H and
-A_L were noted to consume 35-40% of the run time") needs a per-stage time
-breakdown.  :class:`StageTimer` accumulates wall-clock by stage label with
-negligible overhead when disabled (the null object pattern —
-:data:`NO_TIMER` — costs one attribute lookup per stage).
+:class:`StageTimer` / :data:`NO_TIMER` moved into the unified
+observability substrate (:mod:`repro.obs`) so the §VI.C per-stage
+accounting and the trace/metrics layer share one implementation; every
+existing ``from repro.sssp.instrument import ...`` keeps working through
+this module.  New code should import from :mod:`repro.obs` directly.
 """
 
 from __future__ import annotations
 
-import time
-from collections import defaultdict
-from contextlib import contextmanager, nullcontext
+from ..obs.stage import NO_TIMER, NullTimer, StageTimer
 
 __all__ = ["StageTimer", "NullTimer", "NO_TIMER"]
-
-
-class StageTimer:
-    """Accumulates seconds and hit counts per stage label."""
-
-    __slots__ = ("totals", "counts", "_order")
-
-    def __init__(self):
-        self.totals: dict[str, float] = defaultdict(float)
-        self.counts: dict[str, int] = defaultdict(int)
-        self._order: list[str] = []
-
-    @contextmanager
-    def stage(self, label: str):
-        """Context manager timing one stage occurrence."""
-        if label not in self.totals:
-            self._order.append(label)
-        t0 = time.perf_counter()
-        try:
-            yield
-        finally:
-            dt = time.perf_counter() - t0
-            self.totals[label] += dt
-            self.counts[label] += 1
-
-    def add(self, label: str, seconds: float) -> None:
-        """Record an externally-measured duration."""
-        if label not in self.totals:
-            self._order.append(label)
-        self.totals[label] += seconds
-        self.counts[label] += 1
-
-    @property
-    def total(self) -> float:
-        return sum(self.totals.values())
-
-    def fractions(self) -> dict[str, float]:
-        """Stage → share of total time (the §VI.C percentages)."""
-        total = self.total
-        if total == 0:
-            return {k: 0.0 for k in self._order}
-        return {k: self.totals[k] / total for k in self._order}
-
-    def as_dict(self) -> dict[str, float]:
-        """Stage → accumulated seconds, in first-seen order."""
-        return {k: self.totals[k] for k in self._order}
-
-    def merged(self, groups: dict[str, list[str]]) -> dict[str, float]:
-        """Re-bucket stages into coarser groups (missing stages count 0)."""
-        return {
-            gname: sum(self.totals.get(s, 0.0) for s in stages)
-            for gname, stages in groups.items()
-        }
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        parts = ", ".join(f"{k}={v * 1e3:.2f}ms" for k, v in self.as_dict().items())
-        return f"StageTimer<{parts}>"
-
-
-_NULL_CTX = nullcontext()
-
-
-class NullTimer:
-    """Disabled timer: same interface, no accounting, ~zero overhead.
-
-    ``stage`` hands back one shared :func:`~contextlib.nullcontext`
-    (reentrant, stateless) instead of constructing a generator-backed
-    context manager per call — in the fused hot loop the latter showed
-    up as a measurable per-phase cost.
-    """
-
-    __slots__ = ()
-
-    def stage(self, _label: str):
-        return _NULL_CTX
-
-    def add(self, _label: str, _seconds: float) -> None:
-        pass
-
-    @property
-    def total(self) -> float:
-        return 0.0
-
-    def fractions(self) -> dict[str, float]:
-        return {}
-
-    def as_dict(self) -> dict[str, float]:
-        return {}
-
-    def merged(self, groups: dict[str, list[str]]) -> dict[str, float]:
-        return {g: 0.0 for g in groups}
-
-
-#: shared disabled-timer singleton
-NO_TIMER = NullTimer()

@@ -129,6 +129,7 @@ register_stepper(FunctionStepper(
     description="classic fixed-grid delta-stepping, fused kernel (the paper's fast impl.)",
     defaults={"delta": None},  # None = choose_delta; advertises the Δ knob
     kernel_capable=True,  # "delta(kernel=scatter)" pins the min-by-target kernel
+    recorder_capable=True,  # fused emits its own per-bucket/per-stage spans
 ))
 register_stepper(FunctionStepper(
     "graphblas", _graphblas_auto,

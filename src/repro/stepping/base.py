@@ -65,7 +65,8 @@ def new_counters() -> dict:
 
 
 def relax_wave(
-    indptr, indices, weights, frontier, dist, counters, workspace=None, kernel="auto"
+    indptr, indices, weights, frontier, dist, counters, workspace=None, kernel="auto",
+    recorder=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """One relaxation wave: all requests out of *frontier*, min-merged.
 
@@ -76,7 +77,27 @@ def relax_wave(
     supplies the reusable wave buffers and *kernel* picks the per-target
     min implementation (``auto``/``argsort``/``scatter``).  Returns
     ``(improved_targets, their_new_distances)``.
+
+    This is also the observability choke point shared by every
+    framework stepper: a truthy *recorder* (:mod:`repro.obs`) gets one
+    ``relax-wave`` span per call carrying the kernel name, wave size,
+    and relaxation/touched counts; the disabled path costs one falsy
+    check.
     """
+    if recorder:
+        r0 = counters["relaxations"]
+        with recorder.span("relax-wave", kernel=kernel, wave=int(len(frontier))) as sp:
+            uts, ubest = _relax_wave(
+                indptr, indices, weights, frontier, dist, counters, workspace, kernel
+            )
+            sp.set(relaxations=counters["relaxations"] - r0, touched=int(len(uts)))
+        return uts, ubest
+    return _relax_wave(indptr, indices, weights, frontier, dist, counters, workspace, kernel)
+
+
+def _relax_wave(
+    indptr, indices, weights, frontier, dist, counters, workspace, kernel
+) -> tuple[np.ndarray, np.ndarray]:
     targets, dists = gather_candidates(indptr, indices, weights, frontier, dist, workspace)
     if targets is None:
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
@@ -115,6 +136,12 @@ class Stepper(ABC):
         selecting the :mod:`repro.kernels` per-target-min kernel
         (``"rho(kernel=scatter)"`` in spec spelling); the kernel-
         equivalence tests race every capable stepper under both kernels.
+
+    Every registry member additionally accepts ``recorder=`` on
+    ``solve`` (and, where implemented, ``resolve``): a truthy
+    :class:`repro.obs.Recorder` receives trace spans and metrics;
+    ``None`` / ``NO_RECORDER`` is the zero-cost disabled path, and the
+    obs test suite pins recorded runs bit-identical to unrecorded ones.
     """
 
     name: str = "?"
@@ -156,7 +183,12 @@ class Stepper(ABC):
         dist[source] = 0.0
         active = np.zeros(n, dtype=bool)
         active[source] = True
-        counters = self.resolve(graph, dist, active, **params)
+        recorder = params.get("recorder")
+        if recorder:
+            with recorder.span(f"solve:{self.name}", stepper=self.name, source=int(source)):
+                counters = self.resolve(graph, dist, active, **params)
+        else:
+            counters = self.resolve(graph, dist, active, **params)
         return SSSPResult(
             distances=dist,
             source=source,
@@ -192,15 +224,26 @@ class FunctionStepper(Stepper):
         description: str = "",
         defaults: dict | None = None,
         kernel_capable: bool = False,
+        recorder_capable: bool = False,
     ):
         self.name = name
         self.description = description
         self._fn = fn
         self._defaults = dict(defaults or {})
         self.kernel_capable = kernel_capable
+        #: whether the wrapped fn takes ``recorder=`` itself (the fused
+        #: kernel does, emitting per-bucket/per-stage spans); otherwise a
+        #: recording run still gets one whole-solve span from the wrapper
+        self.recorder_capable = recorder_capable
 
     def solve(self, graph: Graph, source: int, **params) -> SSSPResult:
         kw = {**self._defaults, **params}
+        recorder = kw.pop("recorder", None)
+        if recorder:
+            if self.recorder_capable:
+                return self._fn(graph, source, recorder=recorder, **kw)
+            with recorder.span(f"solve:{self.name}", stepper=self.name, source=int(source)):
+                return self._fn(graph, source, **kw)
         return self._fn(graph, source, **kw)
 
     def default_params(self, graph: Graph) -> dict:

@@ -60,10 +60,13 @@ class DeltaStarStepper(Stepper):
     description = "sliding buckets, lazy Bellman-Ford inside (Dong et al. 2021)"
 
     def solve(
-        self, graph: Graph, source: int, delta: float | None = None, kernel: str = "auto"
+        self, graph: Graph, source: int, delta: float | None = None, kernel: str = "auto",
+        recorder=None,
     ) -> SSSPResult:
         delta = delta if delta is not None else default_delta_star(graph)
-        return self._seeded_solve(graph, source, method="delta-star", delta=delta, kernel=kernel)
+        return self._seeded_solve(
+            graph, source, method="delta-star", delta=delta, kernel=kernel, recorder=recorder
+        )
 
     def resolve(
         self,
@@ -72,6 +75,7 @@ class DeltaStarStepper(Stepper):
         active: np.ndarray,
         delta: float | None = None,
         kernel: str = "auto",
+        recorder=None,
     ) -> dict:
         delta = delta if delta is not None else default_delta_star(graph)
         if delta <= 0:
@@ -91,7 +95,8 @@ class DeltaStarStepper(Stepper):
             while len(batch):
                 counters["phases"] += 1
                 improved, new_d = relax_wave(
-                    indptr, indices, weights, batch, dist, counters, workspace=ws, kernel=kernel
+                    indptr, indices, weights, batch, dist, counters, workspace=ws,
+                    kernel=kernel, recorder=recorder,
                 )
                 in_window = new_d <= bound
                 frontier.push(improved[~in_window])

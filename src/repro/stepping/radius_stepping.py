@@ -84,9 +84,12 @@ class RadiusStepper(Stepper):
     description = "per-vertex k-radius precompute bounds each step (Blelloch et al. 2016)"
 
     def solve(
-        self, graph: Graph, source: int, k: int | None = None, kernel: str = "auto"
+        self, graph: Graph, source: int, k: int | None = None, kernel: str = "auto",
+        recorder=None,
     ) -> SSSPResult:
-        result = self._seeded_solve(graph, source, method="radius-stepping", k=k, kernel=kernel)
+        result = self._seeded_solve(
+            graph, source, method="radius-stepping", k=k, kernel=kernel, recorder=recorder
+        )
         result.extra["k"] = k if k is not None else default_k(graph)
         return result
 
@@ -97,6 +100,7 @@ class RadiusStepper(Stepper):
         active: np.ndarray,
         k: int | None = None,
         kernel: str = "auto",
+        recorder=None,
     ) -> dict:
         check_kernel(kernel)
         ws = workspace_for(graph)
@@ -116,7 +120,8 @@ class RadiusStepper(Stepper):
             while len(batch):
                 counters["phases"] += 1
                 improved, new_d = relax_wave(
-                    indptr, indices, weights, batch, dist, counters, workspace=ws, kernel=kernel
+                    indptr, indices, weights, batch, dist, counters, workspace=ws,
+                    kernel=kernel, recorder=recorder,
                 )
                 # improvements inside the range re-relax this step; the
                 # rest wait in the frontier for a later step

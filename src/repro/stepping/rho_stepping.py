@@ -57,9 +57,12 @@ class RhoStepper(Stepper):
     description = "extract the rho nearest active vertices per step (Dong et al. 2021)"
 
     def solve(
-        self, graph: Graph, source: int, rho: int | None = None, kernel: str = "auto"
+        self, graph: Graph, source: int, rho: int | None = None, kernel: str = "auto",
+        recorder=None,
     ) -> SSSPResult:
-        result = self._seeded_solve(graph, source, method="rho-stepping", rho=rho, kernel=kernel)
+        result = self._seeded_solve(
+            graph, source, method="rho-stepping", rho=rho, kernel=kernel, recorder=recorder
+        )
         result.extra["rho"] = rho if rho is not None else default_rho(graph)
         return result
 
@@ -70,6 +73,7 @@ class RhoStepper(Stepper):
         active: np.ndarray,
         rho: int | None = None,
         kernel: str = "auto",
+        recorder=None,
     ) -> dict:
         rho = rho if rho is not None else default_rho(graph)
         if rho < 1:
@@ -85,7 +89,8 @@ class RhoStepper(Stepper):
             counters["phases"] += 1
             batch = frontier.pop_nearest(rho)
             improved, _ = relax_wave(
-                indptr, indices, weights, batch, dist, counters, workspace=ws, kernel=kernel
+                indptr, indices, weights, batch, dist, counters, workspace=ws, kernel=kernel,
+                recorder=recorder,
             )
             frontier.push(improved)
         return counters

@@ -1,0 +1,146 @@
+"""MetricsRegistry: counters, gauges, and histogram percentile edges."""
+
+import pytest
+
+from repro.obs import DEFAULT_LATENCY_BUCKETS_MS, Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        c.reset()
+        assert c.value == 0
+
+    def test_gauge_last_value_wins(self):
+        g = Gauge()
+        g.set(3.0)
+        g.set(1.5)
+        assert g.value == 1.5
+        g.reset()
+        assert g.value == 0.0
+
+    def test_default_buckets_are_geometric(self):
+        b = DEFAULT_LATENCY_BUCKETS_MS
+        assert b[0] == pytest.approx(1e-3)
+        for lo, hi in zip(b, b[1:]):
+            assert hi == pytest.approx(2 * lo)
+
+
+class TestHistogramPercentiles:
+    def test_empty_histogram_reports_zero(self):
+        h = Histogram()
+        assert h.count == 0
+        assert h.percentile(50) == 0.0
+        s = h.summary()
+        assert s == {
+            "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+            "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0,
+        }
+
+    def test_single_sample_is_every_percentile(self):
+        h = Histogram()
+        h.observe(3.7)
+        for q in (0, 1, 50, 90, 99, 100):
+            assert h.percentile(q) == pytest.approx(3.7)
+        s = h.summary()
+        assert s["min"] == s["max"] == s["mean"] == pytest.approx(3.7)
+
+    def test_all_samples_in_one_bucket_stay_in_observed_range(self):
+        h = Histogram(buckets=[1.0, 10.0, 100.0])
+        for v in (4.0, 5.0, 6.0):
+            h.observe(v)
+        for q in (50, 90, 99):
+            assert 4.0 <= h.percentile(q) <= 6.0
+
+    def test_percentiles_are_monotone_across_buckets(self):
+        h = Histogram(buckets=[1.0, 2.0, 4.0, 8.0])
+        for v in (0.5, 1.5, 3.0, 3.5, 6.0, 7.0, 20.0):
+            h.observe(v)
+        qs = [h.percentile(q) for q in (10, 25, 50, 75, 90, 99)]
+        assert qs == sorted(qs)
+        assert h.percentile(99) <= h.max
+
+    def test_overflow_bucket_counts_and_clamps_to_max(self):
+        h = Histogram(buckets=[1.0])
+        h.observe(500.0)
+        h.observe(900.0)
+        assert h.counts[-1] == 2
+        assert h.percentile(99) == pytest.approx(900.0)
+
+    def test_min_max_sum_exact(self):
+        h = Histogram()
+        for v in (2.0, 8.0, 4.0):
+            h.observe(v)
+        assert (h.min, h.max, h.total, h.count) == (2.0, 8.0, 14.0, 3)
+        assert h.mean == pytest.approx(14.0 / 3)
+
+    def test_reset_zeroes_in_place(self):
+        h = Histogram()
+        h.observe(1.0)
+        h.reset()
+        assert h.count == 0 and h.percentile(50) == 0.0
+
+    def test_invalid_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=[])
+        with pytest.raises(ValueError):
+            Histogram(buckets=[2.0, 1.0])
+
+    def test_invalid_percentile_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(101)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+        assert len(reg) == 3
+
+    def test_convenience_forms(self):
+        reg = MetricsRegistry()
+        reg.inc("hits")
+        reg.inc("hits", 2)
+        reg.set_gauge("size", 7)
+        reg.observe("lat", 1.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"hits": 3}
+        assert snap["gauges"] == {"size": 7}
+        assert snap["histograms"]["lat"]["count"] == 1
+
+    def test_cross_kind_name_reuse_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+        with pytest.raises(ValueError):
+            reg.histogram("x")
+
+    def test_snapshot_is_plain_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.inc("b")
+        reg.inc("a")
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a", "b"]
+        assert reg.as_dict() == snap
+
+    def test_reset_keeps_handles_valid(self):
+        reg = MetricsRegistry()
+        c = reg.counter("n")
+        c.inc(5)
+        h = reg.histogram("lat")
+        h.observe(1.0)
+        reg.reset()
+        assert c.value == 0 and h.count == 0
+        c.inc()
+        assert reg.snapshot()["counters"]["n"] == 1
+
+    def test_empty_registry_is_falsy_by_len(self):
+        # relied on nowhere in the tree (binding uses `is not None`), but
+        # pin the behavior so a future truthiness guard fails loudly here
+        assert len(MetricsRegistry()) == 0

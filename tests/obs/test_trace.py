@@ -1,0 +1,165 @@
+"""TraceRecorder: span/instant recording and Chrome trace-event export."""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs import NO_TRACE, NullTrace, TraceRecorder
+
+
+class TestSpans:
+    def test_span_records_complete_event(self):
+        tr = TraceRecorder()
+        with tr.span("work", wave=5):
+            pass
+        assert len(tr) == 1
+        (span,) = tr.spans()
+        assert span["name"] == "work"
+        assert span["args"] == {"wave": 5}
+        assert span["dur_us"] >= 0.0
+
+    def test_set_attaches_late_args(self):
+        tr = TraceRecorder()
+        with tr.span("work", before=1) as sp:
+            sp.set(after=2)
+        (span,) = tr.spans()
+        assert span["args"] == {"before": 1, "after": 2}
+
+    def test_span_duration_covers_the_block(self):
+        tr = TraceRecorder()
+        with tr.span("sleep"):
+            time.sleep(0.002)
+        (span,) = tr.spans()
+        assert span["dur_us"] >= 2000.0
+
+    def test_spans_filter_by_name(self):
+        tr = TraceRecorder()
+        with tr.span("a"):
+            pass
+        with tr.span("b"):
+            pass
+        with tr.span("a"):
+            pass
+        assert len(tr.spans("a")) == 2
+        assert len(tr.spans("b")) == 1
+        assert len(tr.spans()) == 3
+
+    def test_instants_are_not_spans(self):
+        tr = TraceRecorder()
+        tr.instant("marker", k=1)
+        assert len(tr) == 1
+        assert tr.spans() == []
+
+    def test_nested_spans_both_recorded(self):
+        tr = TraceRecorder()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        names = [s["name"] for s in tr.spans()]
+        assert names == ["inner", "outer"]  # exit order
+
+    def test_clear(self):
+        tr = TraceRecorder()
+        with tr.span("x"):
+            pass
+        tr.clear()
+        assert len(tr) == 0
+
+
+class TestChromeExport:
+    def _trace(self):
+        tr = TraceRecorder()
+        with tr.span("solve", stepper="delta"):
+            with tr.span("wave", size=3):
+                pass
+        tr.instant("tick")
+        return tr
+
+    def test_schema_required_fields(self):
+        doc = self._trace().to_chrome()
+        events = doc["traceEvents"]
+        assert doc["displayTimeUnit"] == "ms"
+        for ev in events:
+            assert {"name", "ph", "pid", "tid"} <= set(ev)
+        # every non-metadata event is timestamped
+        for ev in events:
+            if ev["ph"] != "M":
+                assert "ts" in ev
+
+    def test_complete_events_carry_duration(self):
+        events = self._trace().to_chrome()["traceEvents"]
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == 2
+        for ev in xs:
+            assert ev["dur"] >= 0.0
+
+    def test_metadata_event_names_the_process(self):
+        events = self._trace().to_chrome(process_name="proc-x")["traceEvents"]
+        assert events[0]["ph"] == "M"
+        assert events[0]["args"] == {"name": "proc-x"}
+
+    def test_instant_events_have_thread_scope(self):
+        events = self._trace().to_chrome()["traceEvents"]
+        (inst,) = [e for e in events if e["ph"] == "i"]
+        assert inst["s"] == "t"
+
+    def test_json_round_trip(self):
+        doc = self._trace().to_chrome()
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_numpy_args_are_coerced(self):
+        tr = TraceRecorder()
+        with tr.span("np", count=np.int64(7), frac=np.float64(0.5), arr=np.arange(2)):
+            pass
+        doc = tr.to_chrome()
+        text = json.dumps(doc)  # must not raise
+        args = json.loads(text)["traceEvents"][1]["args"]
+        assert args["count"] == 7
+        assert args["frac"] == 0.5
+        assert isinstance(args["arr"], str)  # non-scalar: stringified
+
+    def test_write_round_trips_through_disk(self, tmp_path):
+        path = tmp_path / "trace.json"
+        out = self._trace().write(path)
+        assert out == str(path)
+        doc = json.loads(path.read_text())
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+    def test_timestamps_are_relative_and_ordered(self):
+        tr = TraceRecorder()
+        with tr.span("first"):
+            pass
+        with tr.span("second"):
+            pass
+        xs = [e for e in tr.to_chrome()["traceEvents"] if e["ph"] == "X"]
+        assert all(e["ts"] >= 0.0 for e in xs)
+        assert xs[0]["ts"] <= xs[1]["ts"]
+
+
+class TestNullTrace:
+    def test_falsy_and_empty(self):
+        assert not NO_TRACE
+        assert len(NO_TRACE) == 0
+        assert NO_TRACE.spans() == []
+
+    def test_span_is_reusable_noop(self):
+        with NO_TRACE.span("x", a=1) as sp:
+            sp.set(b=2)
+        with NO_TRACE.span("y") as sp2:
+            assert sp2 is sp  # one shared null span
+        NO_TRACE.instant("z")
+        NO_TRACE.clear()
+        assert len(NO_TRACE) == 0
+
+    def test_singleton_type(self):
+        assert isinstance(NO_TRACE, NullTrace)
+
+    def test_exceptions_propagate_through_spans(self):
+        tr = TraceRecorder()
+        with pytest.raises(RuntimeError):
+            with tr.span("boom"):
+                raise RuntimeError("x")
+        # the span still closed and recorded
+        assert len(tr.spans("boom")) == 1

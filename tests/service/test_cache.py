@@ -157,3 +157,56 @@ class TestInvalidation:
         del g
         gc.collect()
         assert len(cache) == 0
+
+
+class TestMetricsIntegration:
+    def test_counters_mirror_into_registry(self):
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        cache = DistanceCache(capacity=2, metrics=metrics)
+        g = _graph()
+        cache.get(g, 0)  # miss
+        cache.put(g, 0, "unit", np.zeros(4))
+        cache.get(g, 0)  # hit
+        cache.put(g, 1, "unit", np.zeros(4))
+        cache.put(g, 2, "unit", np.zeros(4))  # evicts source 0
+        cache.invalidate(g)
+        snap = metrics.snapshot()
+        stats = cache.stats()
+        assert snap["counters"]["cache.hits"] == stats.hits == 1
+        assert snap["counters"]["cache.misses"] == stats.misses == 1
+        assert snap["counters"]["cache.evictions"] == stats.evictions == 1
+        assert snap["counters"]["cache.invalidations"] == stats.invalidations == 1
+        assert snap["gauges"]["cache.size"] == 0
+
+    def test_size_gauge_tracks_inserts(self):
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        cache = DistanceCache(metrics=metrics)
+        g = _graph()
+        cache.put(g, 0, "unit", np.zeros(4))
+        cache.put(g, 1, "unit", np.zeros(4))
+        assert metrics.snapshot()["gauges"]["cache.size"] == 2
+        cache.clear()
+        assert metrics.snapshot()["gauges"]["cache.size"] == 0
+
+    def test_bind_metrics_first_binding_wins(self):
+        from repro.obs import MetricsRegistry
+
+        cache = DistanceCache()
+        first, second = MetricsRegistry(), MetricsRegistry()
+        cache.bind_metrics(first)
+        cache.bind_metrics(second)  # no-op: already bound
+        g = _graph()
+        cache.get(g, 0)
+        assert first.snapshot()["counters"]["cache.misses"] == 1
+        assert len(second) == 0
+
+    def test_unbound_cache_records_no_metrics(self):
+        cache = DistanceCache()
+        g = _graph()
+        cache.get(g, 0)
+        cache.put(g, 0, "unit", np.zeros(4))
+        assert cache.stats().misses == 1  # plain counters still work

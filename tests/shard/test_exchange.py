@@ -95,6 +95,60 @@ class TestFrontierExchange:
         }
 
 
+class TestPerSuperstep:
+    def _run_rounds(self):
+        ex = FrontierExchange(num_shards=2, num_vertices=8)
+        dist = np.full(8, np.inf)
+        ex.post(0, np.array([3, 3, 4]), np.array([2.0, 1.0, 6.0]))
+        ex.post(1, np.array([4]), np.array([5.0]))
+        ex.flush(dist)
+        ex.post(0, np.array([5]), np.array([7.0]))
+        ex.flush(dist)
+        ex.flush(dist)  # empty round: no row
+        return ex
+
+    def test_rows_sum_to_aggregates(self):
+        ex = self._run_rounds()
+        rows = ex.stats.per_superstep()
+        agg = ex.stats.as_dict()
+        assert len(rows) == agg["exchanges"] == 2
+        for key in (
+            "entries_posted", "entries_carried", "entries_applied", "bytes_carried",
+        ):
+            assert sum(r[key] for r in rows) == agg[key], key
+
+    def test_rows_are_indexed_and_per_round(self):
+        ex = self._run_rounds()
+        rows = ex.stats.per_superstep()
+        assert [r["superstep"] for r in rows] == [0, 1]
+        assert rows[0]["entries_posted"] == 4
+        assert rows[1] == {
+            "superstep": 1, "entries_posted": 1, "entries_carried": 1,
+            "entries_applied": 1, "bytes_carried": 16,
+        }
+
+    def test_per_superstep_returns_copies(self):
+        ex = self._run_rounds()
+        ex.stats.per_superstep()[0]["entries_posted"] = -1
+        assert ex.stats.per_superstep()[0]["entries_posted"] == 4
+
+    def test_empty_rounds_add_no_rows(self):
+        ex = FrontierExchange(num_shards=1, num_vertices=4)
+        ex.flush(np.full(4, np.inf))
+        assert ex.stats.per_superstep() == []
+
+    def test_sharded_run_rows_match_result_aggregates(self, random_weighted_graph):
+        from repro.stepping import solve_with
+
+        res = solve_with("sharded(shards=3)", random_weighted_graph, 0)
+        rows = res.extra["per_superstep"]
+        assert len(rows) == res.extra["exchanges"] > 0
+        for key in (
+            "entries_posted", "entries_carried", "entries_applied", "bytes_carried",
+        ):
+            assert sum(r[key] for r in rows) == res.extra[key], key
+
+
 class TestTransports:
     def test_inline_runs_in_order(self):
         tr = InProcessTransport()
