@@ -16,7 +16,7 @@ from __future__ import annotations
 from repro.bench.figures import SEC6C_GROUPS
 from repro.sssp.fused import fused_delta_stepping
 from repro.sssp.graphblas_sssp import graphblas_delta_stepping
-from repro.sssp.instrument import StageTimer
+from repro.obs.stage import StageTimer
 
 
 def _shares(profile: dict, groups: dict) -> dict:

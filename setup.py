@@ -16,5 +16,6 @@ setup(
     name="repro-sssp",
     package_dir={"": "src"},
     packages=find_packages("src"),
+    package_data={"repro": ["py.typed"]},
     entry_points={"console_scripts": ["repro-sssp=repro.cli:main"]},
 )

@@ -134,7 +134,7 @@ def sec6c_profile(
     separately, as the task decomposition requires); ``implementation``
     selects ``"fused"`` (default, matching the paper) or ``"unfused"``.
     """
-    from ..sssp.instrument import StageTimer
+    from ..obs.stage import StageTimer
 
     workloads = workloads if workloads is not None else suite_workloads()
     groups = SEC6C_GROUPS[implementation]

@@ -18,6 +18,7 @@ kernel-bench regenerate the KERNEL experiment (relaxation kernels vs the seed lo
 steppers    list the stepping-algorithm registry and Δ strategies
 suite       list the dataset suite with structural statistics
 translate   show the IR translation pipeline + fusion report
+lint        run the repo's static-analysis rules (repro.analysis.lint)
 ==========  ==================================================================
 
 ``run``, ``query``, and ``serve-bench`` take ``--stepper SPEC`` to pin a
@@ -158,6 +159,14 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--suite", default="ci", choices=["ci", "paper"])
 
     sub.add_parser("translate", help="show the IR translation pipeline and fusion report")
+
+    sp = sub.add_parser("lint", help="run the repo's static-analysis rules")
+    sp.add_argument("--select", metavar="RULE", action="append", default=None,
+                    help="run only this rule (repeatable; default: all rules)")
+    sp.add_argument("--format", dest="fmt", default="text", choices=["text", "json"],
+                    help="findings output format (default: text)")
+    sp.add_argument("--list", action="store_true",
+                    help="list the registered rules and exit")
     return p
 
 
@@ -528,6 +537,23 @@ def _cmd_translate(_args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from .analysis import RULES, format_findings, run_lint
+
+    if args.list:
+        width = max(len(name) for name in RULES)
+        for name, desc in sorted(RULES.items()):
+            print(f"{name:{width}s}  {desc}")
+        return 0
+    try:
+        findings = run_lint(select=args.select)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_findings(findings, fmt=args.fmt))
+    return 1 if findings else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -545,6 +571,7 @@ def main(argv: list[str] | None = None) -> int:
         "steppers": _cmd_steppers,
         "suite": _cmd_suite,
         "translate": _cmd_translate,
+        "lint": _cmd_lint,
     }[args.command]
     return handler(args)
 

@@ -150,6 +150,31 @@ __all__ = [
     "Semiring",
     "DataType",
     "Descriptor",
+    # predefined types
+    "ALL_TYPES",
+    "BOOL",
+    "INT8", "INT16", "INT32", "INT64",
+    "UINT8", "UINT16", "UINT32", "UINT64",
+    "FP32", "FP64",
+    # predefined unary ops
+    "IDENTITY", "AINV", "MINV", "LNOT", "ONE", "ABS",
+    "range_filter", "threshold_geq", "threshold_gt", "threshold_leq", "threshold_lt",
+    # predefined binary ops
+    "FIRST", "SECOND", "MIN", "MAX", "PLUS", "MINUS", "RMINUS",
+    "TIMES", "DIV", "RDIV", "PAIR", "ANY",
+    "EQ", "NE", "GT", "LT", "GE", "LE", "LOR", "LAND", "LXOR",
+    # predefined index-unary ops
+    "value_in_range",
+    # predefined monoids
+    "MIN_MONOID", "MAX_MONOID", "PLUS_MONOID", "TIMES_MONOID", "ANY_MONOID",
+    "LOR_MONOID", "LAND_MONOID", "LXOR_MONOID", "EQ_MONOID",
+    # predefined semirings
+    "MIN_PLUS", "MIN_TIMES", "MIN_FIRST", "MIN_SECOND", "MIN_MIN",
+    "MAX_PLUS", "PLUS_TIMES", "PLUS_MIN", "PLUS_PAIR",
+    "ANY_PAIR", "ANY_SECOND", "LOR_LAND",
+    # predefined descriptors
+    "NULL_DESC", "REPLACE", "STRUCTURE", "COMPLEMENT",
+    "REPLACE_STRUCTURE", "REPLACE_COMPLEMENT", "TRANSPOSE0", "TRANSPOSE1",
     # operations
     "apply",
     "select",

@@ -32,10 +32,11 @@ from __future__ import annotations
 import heapq
 
 import numpy as np
+from numpy.typing import NDArray
 
 __all__ = ["BucketQueue"]
 
-_EMPTY = np.empty(0, dtype=np.int64)
+_EMPTY: NDArray[np.int64] = np.empty(0, dtype=np.int64)
 
 
 class BucketQueue:
@@ -46,17 +47,17 @@ class BucketQueue:
     remove a stale entry eagerly.
     """
 
-    def __init__(self, delta: float):
+    def __init__(self, delta: float) -> None:
         if delta <= 0:
             raise ValueError("delta must be positive")
         self.delta = float(delta)
         self._heap: list[int] = []
-        self._members: dict[int, list[np.ndarray]] = {}
+        self._members: dict[int, list[NDArray[np.int64]]] = {}
 
     def __bool__(self) -> bool:
         return bool(self._heap)
 
-    def push(self, vertices: np.ndarray, dists: np.ndarray) -> None:
+    def push(self, vertices: NDArray[np.int64], dists: NDArray[np.float64]) -> None:
         """File *vertices* under the buckets of their (new) *dists*.
 
         Duplicates across pushes are fine (deduped at pop); distances
@@ -103,7 +104,7 @@ class BucketQueue:
             for b in np.unique(idx):
                 self._file(int(b), vertices[idx == b])
 
-    def push_into(self, bucket: int, vertices: np.ndarray) -> None:
+    def push_into(self, bucket: int, vertices: NDArray[np.int64]) -> None:
         """File *vertices* directly under *bucket* (no per-entry indexing).
 
         For callers that know the bucket analytically — a Δ-stepper's
@@ -115,7 +116,7 @@ class BucketQueue:
         if len(vertices):
             self._file(bucket, vertices)
 
-    def _file(self, b: int, chunk: np.ndarray) -> None:
+    def _file(self, b: int, chunk: NDArray[np.int64]) -> None:
         pending = self._members.get(b)
         if pending is None:
             self._members[b] = [chunk]
@@ -123,7 +124,9 @@ class BucketQueue:
         else:
             pending.append(chunk)
 
-    def pop_bucket(self, dist: np.ndarray) -> tuple[int | None, np.ndarray]:
+    def pop_bucket(
+        self, dist: NDArray[np.float64]
+    ) -> tuple[int | None, NDArray[np.int64]]:
         """Extract the next non-empty bucket: ``(index, frontier)``.
 
         The frontier is deduped, ascending, and validated against *dist*

@@ -35,7 +35,10 @@ race the kernels like any other knob.
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
+from numpy.typing import NDArray
 
 from .workspace import INF, RelaxWorkspace
 
@@ -56,14 +59,24 @@ __all__ = [
 #: the ufunc dispatch overhead lose to a small sort.
 SCATTER_DENSITY = 64
 
-_EMPTY_T = np.empty(0, dtype=np.int64)
-_EMPTY_D = np.empty(0, dtype=np.float64)
+#: the hot loops return these instead of allocating fresh empties — the
+#: module-level pattern the ``hot-loop-alloc`` lint whitelists by name
+_EMPTY_T: NDArray[np.int64] = np.empty(0, dtype=np.int64)
+_EMPTY_D: NDArray[np.float64] = np.empty(0, dtype=np.float64)
+
+#: shorthand for every kernel's ``(unique targets, best distances)`` pair
+_MinPair = tuple[NDArray[np.int64], NDArray[np.float64]]
 
 
-def min_by_target_sort(targets: np.ndarray, dists: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+def min_by_target_sort(
+    targets: NDArray[np.int64], dists: NDArray[np.float64]
+) -> _MinPair:
     """Per-target minimum via stable argsort + ``minimum.reduceat``.
 
-    The seed kernel, O(m log m); needs no workspace.
+    The seed kernel, O(m log m); needs no workspace.  Deliberately *not*
+    a ``# repro: hot`` block: its boundary mask is a fresh allocation by
+    design (sized to the wave, not the key space), which is exactly the
+    trade the scatter kernel exists to beat on dense waves.
     """
     if len(targets) == 0:
         return _EMPTY_T, _EMPTY_D
@@ -74,12 +87,14 @@ def min_by_target_sort(targets: np.ndarray, dists: np.ndarray) -> tuple[np.ndarr
     boundaries[0] = True
     np.not_equal(ts[1:], ts[:-1], out=boundaries[1:])
     starts = np.nonzero(boundaries)[0]
-    return ts[starts], np.minimum.reduceat(ds, starts)
+    best: NDArray[np.float64] = np.minimum.reduceat(ds, starts)
+    return ts[starts], best
 
 
+# repro: hot
 def min_by_target_scatter(
-    targets: np.ndarray, dists: np.ndarray, workspace: RelaxWorkspace
-) -> tuple[np.ndarray, np.ndarray]:
+    targets: NDArray[np.int64], dists: NDArray[np.float64], workspace: RelaxWorkspace
+) -> _MinPair:
     """Per-target minimum via dense scatter-min, O(m).
 
     ``np.minimum.at`` folds the wave into ``workspace.req``; compaction
@@ -113,7 +128,7 @@ def min_by_target_scatter(
 #: kernel name → implementation; the discovery surface shared by
 #: :func:`min_by_target`, stepper specs (``"delta(kernel=scatter)"``),
 #: and the KERNEL bench.
-KERNELS = {
+KERNELS: dict[str, Callable[..., _MinPair]] = {
     "argsort": min_by_target_sort,
     "scatter": min_by_target_scatter,
 }
@@ -128,12 +143,13 @@ def check_kernel(kernel: str) -> str:
     return kernel
 
 
+# repro: hot
 def min_by_target(
-    targets: np.ndarray,
-    dists: np.ndarray,
+    targets: NDArray[np.int64],
+    dists: NDArray[np.float64],
     workspace: RelaxWorkspace | None = None,
     kernel: str = "auto",
-) -> tuple[np.ndarray, np.ndarray]:
+) -> _MinPair:
     """Best candidate per target: ``(unique targets asc, min distances)``.
 
     ``kernel="auto"`` picks scatter for dense waves (when a workspace is
@@ -154,14 +170,15 @@ def min_by_target(
     return min_by_target_sort(targets, dists)
 
 
+# repro: hot
 def gather_candidates(
-    indptr: np.ndarray,
-    indices: np.ndarray,
-    weights: np.ndarray,
-    frontier: np.ndarray,
-    dist: np.ndarray,
+    indptr: NDArray[np.int64],
+    indices: NDArray[np.int64],
+    weights: NDArray[np.float64],
+    frontier: NDArray[np.int64],
+    dist: NDArray[np.float64],
     workspace: RelaxWorkspace | None = None,
-) -> tuple[np.ndarray | None, np.ndarray | None]:
+) -> tuple[NDArray[np.int64] | None, NDArray[np.float64] | None]:
     """All relaxation requests out of *frontier*: ``(targets, distances)``.
 
     The CSR row gather every stepper's relax wave starts with.  With a
@@ -178,8 +195,11 @@ def gather_candidates(
         return None, None
     offsets = np.repeat(np.cumsum(lengths) - lengths, lengths)
     if workspace is None:
+        # repro: alloc-ok — the documented no-arena fallback pays fresh buffers
         flat = np.arange(total, dtype=np.int64) - offsets + np.repeat(starts, lengths)
-        return indices[flat], np.repeat(dist[frontier], lengths) + weights[flat]
+        out_t: NDArray[np.int64] = indices[flat]
+        out_d: NDArray[np.float64] = np.repeat(dist[frontier], lengths) + weights[flat]
+        return out_t, out_d
     flat, targets, dists = workspace.wave_buffers(total)
     np.subtract(workspace.iota(total), offsets, out=flat)
     flat += np.repeat(starts, lengths)

@@ -37,11 +37,14 @@ of :class:`repro.graphs.graph.Graph`.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
+from numpy.typing import NDArray
 
 __all__ = ["RelaxWorkspace", "workspace_for", "cached_row_ids"]
 
-INF = np.inf
+INF: float = float(np.inf)
 
 #: ``graph.meta`` key of the per-graph workspace (underscore-prefixed:
 #: a derived cache, dropped by ``Graph.copy``/``with_weights``)
@@ -75,7 +78,16 @@ class RelaxWorkspace:
 
     __slots__ = ("n", "req", "touched", "grows", "_flat", "_targets", "_dists", "_iota")
 
-    def __init__(self, n: int):
+    n: int
+    req: NDArray[np.float64]
+    touched: NDArray[np.bool_]
+    grows: int
+    _flat: NDArray[np.int64]
+    _targets: NDArray[np.int64]
+    _dists: NDArray[np.float64]
+    _iota: NDArray[np.int64]
+
+    def __init__(self, n: int) -> None:
         if n < 0:
             raise ValueError("workspace size must be >= 0")
         self.n = int(n)
@@ -93,7 +105,9 @@ class RelaxWorkspace:
             cap *= 2
         return cap
 
-    def wave_buffers(self, total: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def wave_buffers(
+        self, total: int
+    ) -> tuple[NDArray[np.int64], NDArray[np.int64], NDArray[np.float64]]:
         """``(flat, targets, dists)`` views of length *total*.
 
         The backing buffers grow geometrically and are then reused for
@@ -108,7 +122,7 @@ class RelaxWorkspace:
             self.grows += 1
         return self._flat[:total], self._targets[:total], self._dists[:total]
 
-    def iota(self, total: int) -> np.ndarray:
+    def iota(self, total: int) -> NDArray[np.int64]:
         """The shared ``0..total`` ramp (a view; grown on demand)."""
         if total > len(self._iota):
             self._iota = np.arange(self._capacity_for(total), dtype=np.int64)
@@ -119,11 +133,35 @@ class RelaxWorkspace:
         self.req.fill(INF)
         self.touched.fill(False)
 
+    def check(self) -> None:
+        """Assert the between-waves steady state; the debug invariant.
+
+        ``req`` must be all-``inf`` and ``touched`` all-``False`` — the
+        contract every kernel restores before returning (including on
+        aborted waves, via ``try/finally``).  A leak here does not break
+        *this* wave; it silently corrupts the **next** one that reuses
+        the arena, which is why the kernels property tests and the shard
+        race harness call this after every wave.  Raises
+        ``AssertionError`` naming the leaked keys.
+        """
+        leaked = np.flatnonzero(self.req != INF)
+        if len(leaked):
+            raise AssertionError(
+                f"workspace invariant broken: req not all-inf at keys "
+                f"{leaked[:8].tolist()} ({len(leaked)} total)"
+            )
+        stuck = np.flatnonzero(self.touched)
+        if len(stuck):
+            raise AssertionError(
+                f"workspace invariant broken: touched not all-False at keys "
+                f"{stuck[:8].tolist()} ({len(stuck)} total)"
+            )
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"RelaxWorkspace<n={self.n}, wave_cap={len(self._flat)}, grows={self.grows}>"
 
 
-def workspace_for(graph) -> RelaxWorkspace:
+def workspace_for(graph: Any) -> RelaxWorkspace:
     """The per-graph cached :class:`RelaxWorkspace`.
 
     Memoized under ``graph.meta['_relax_workspace']`` so repeated solves
@@ -135,14 +173,14 @@ def workspace_for(graph) -> RelaxWorkspace:
     Not safe to share across threads: concurrent solvers must own
     private workspaces (the sharded stepper allocates one per shard).
     """
-    ws = graph.meta.get(_WORKSPACE_KEY)
+    ws: RelaxWorkspace | None = graph.meta.get(_WORKSPACE_KEY)
     if ws is None or ws.n != graph.num_vertices:
         ws = RelaxWorkspace(graph.num_vertices)
         graph.meta[_WORKSPACE_KEY] = ws
     return ws
 
 
-def cached_row_ids(graph) -> np.ndarray:
+def cached_row_ids(graph: Any) -> NDArray[np.int64]:
     """The CSR row-id expansion ``repeat(arange(n), diff(indptr))``, cached.
 
     Every light/heavy matrix split (and any other edge-parallel pass
@@ -152,11 +190,11 @@ def cached_row_ids(graph) -> np.ndarray:
     recomputed after mutations.  Treat the result as read-only — it is
     shared by every caller.
     """
-    entry = graph.meta.get(_ROW_IDS_KEY)
+    entry: tuple[int, NDArray[np.int64]] | None = graph.meta.get(_ROW_IDS_KEY)
     if entry is not None:
         epoch, ids = entry
         if epoch == graph.epoch and len(ids) == graph.num_edges:
             return ids
-    ids = graph.row_sources()
-    graph.meta[_ROW_IDS_KEY] = (graph.epoch, ids)
-    return ids
+    fresh: NDArray[np.int64] = graph.row_sources()
+    graph.meta[_ROW_IDS_KEY] = (graph.epoch, fresh)
+    return fresh

@@ -24,6 +24,7 @@ from __future__ import annotations
 import threading
 from bisect import bisect_left
 from math import ceil, inf
+from typing import Any, Iterable
 
 __all__ = [
     "Counter",
@@ -43,7 +44,9 @@ class Counter:
 
     __slots__ = ("value",)
 
-    def __init__(self):
+    value: int
+
+    def __init__(self) -> None:
         self.value = 0
 
     def inc(self, n: int = 1) -> None:
@@ -61,7 +64,9 @@ class Gauge:
 
     __slots__ = ("value",)
 
-    def __init__(self):
+    value: float
+
+    def __init__(self) -> None:
         self.value = 0.0
 
     def set(self, value: float) -> None:
@@ -87,7 +92,14 @@ class Histogram:
 
     __slots__ = ("bounds", "counts", "count", "total", "min", "max")
 
-    def __init__(self, buckets=None):
+    bounds: tuple[float, ...]
+    counts: list[int]
+    count: int
+    total: float
+    min: float
+    max: float
+
+    def __init__(self, buckets: Iterable[float] | None = None) -> None:
         bounds = tuple(buckets) if buckets is not None else DEFAULT_LATENCY_BUCKETS_MS
         if not bounds or list(bounds) != sorted(bounds):
             raise ValueError("histogram buckets must be a non-empty ascending sequence")
@@ -133,7 +145,7 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def summary(self) -> dict:
+    def summary(self) -> dict[str, float]:
         """count/sum/min/max/mean plus the p50/p90/p99 trio."""
         return {
             "count": self.count,
@@ -167,13 +179,13 @@ class MetricsRegistry:
     a counter under an existing histogram name raises.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
         self._lock = threading.Lock()
 
-    def _check_free(self, name: str, kind: dict) -> None:
+    def _check_free(self, name: str, kind: dict[str, Any]) -> None:
         for store in (self._counters, self._gauges, self._histograms):
             if store is not kind and name in store:
                 raise ValueError(f"metric {name!r} already registered as another kind")
@@ -198,7 +210,7 @@ class MetricsRegistry:
                     g = self._gauges[name] = Gauge()
         return g
 
-    def histogram(self, name: str, buckets=None) -> Histogram:
+    def histogram(self, name: str, buckets: Iterable[float] | None = None) -> Histogram:
         h = self._histograms.get(name)
         if h is None:
             with self._lock:
@@ -221,7 +233,7 @@ class MetricsRegistry:
 
     # -- reporting -----------------------------------------------------------
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, Any]:
         """Everything, as plain dicts: ``{"counters": {...}, "gauges":
         {...}, "histograms": {name: summary}}``."""
         return {
@@ -230,7 +242,7 @@ class MetricsRegistry:
             "histograms": {k: h.summary() for k, h in sorted(self._histograms.items())},
         }
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         """Alias of :meth:`snapshot` (the :class:`StageTimer` spelling)."""
         return self.snapshot()
 

@@ -25,8 +25,11 @@ it is falsy, and every method is a no-op.
 
 from __future__ import annotations
 
+import os
+from typing import Any
+
 from .metrics import MetricsRegistry
-from .trace import _NULL_SPAN, Span, TraceRecorder
+from .trace import _NULL_SPAN, Span, TraceRecorder, _NullSpan
 
 __all__ = ["Recorder", "NullRecorder", "NO_RECORDER"]
 
@@ -41,7 +44,9 @@ class Recorder:
 
     enabled = True
 
-    def __init__(self, trace: TraceRecorder | None = None, metrics: MetricsRegistry | None = None):
+    def __init__(
+        self, trace: TraceRecorder | None = None, metrics: MetricsRegistry | None = None
+    ) -> None:
         self.trace = trace if trace is not None else TraceRecorder()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
 
@@ -50,10 +55,10 @@ class Recorder:
 
     # -- tracing -------------------------------------------------------------
 
-    def span(self, name: str, **args) -> Span:
+    def span(self, name: str, **args: Any) -> Span:
         return self.trace.span(name, **args)
 
-    def instant(self, name: str, **args) -> None:
+    def instant(self, name: str, **args: Any) -> None:
         self.trace.instant(name, **args)
 
     # -- metrics -------------------------------------------------------------
@@ -69,11 +74,13 @@ class Recorder:
 
     # -- reporting -----------------------------------------------------------
 
-    def write_trace(self, path, process_name: str = "repro") -> str:
+    def write_trace(
+        self, path: str | os.PathLike[str], process_name: str = "repro"
+    ) -> str:
         """Export the trace as Chrome trace-event JSON; returns the path."""
         return self.trace.write(path, process_name=process_name)
 
-    def summary(self) -> dict:
+    def summary(self) -> dict[str, Any]:
         """The metrics snapshot (counters/gauges/histogram summaries)."""
         return self.metrics.snapshot()
 
@@ -97,10 +104,10 @@ class NullRecorder:
     def __bool__(self) -> bool:
         return False
 
-    def span(self, _name: str, **_args):
+    def span(self, _name: str, **_args: Any) -> _NullSpan:
         return _NULL_SPAN
 
-    def instant(self, _name: str, **_args) -> None:
+    def instant(self, _name: str, **_args: Any) -> None:
         pass
 
     def inc(self, _name: str, _n: int = 1) -> None:
@@ -112,10 +119,12 @@ class NullRecorder:
     def set_gauge(self, _name: str, _value: float) -> None:
         pass
 
-    def write_trace(self, _path, process_name: str = "repro") -> None:
+    def write_trace(
+        self, _path: str | os.PathLike[str], process_name: str = "repro"
+    ) -> None:
         return None
 
-    def summary(self) -> dict:
+    def summary(self) -> dict[str, Any]:
         return {}
 
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 import time
 from collections import defaultdict
 from contextlib import contextmanager, nullcontext
+from typing import Any, Iterator
 
 __all__ = ["StageTimer", "NullTimer", "NO_TIMER"]
 
@@ -35,14 +36,14 @@ class StageTimer:
 
     __slots__ = ("totals", "counts", "_order", "_recorder")
 
-    def __init__(self, recorder=None):
+    def __init__(self, recorder: Any = None) -> None:
         self.totals: dict[str, float] = defaultdict(float)
         self.counts: dict[str, int] = defaultdict(int)
         self._order: list[str] = []
         self._recorder = recorder if recorder else None
 
     @contextmanager
-    def stage(self, label: str, **args):
+    def stage(self, label: str, **args: Any) -> Iterator[None]:
         """Context manager timing one stage occurrence.
 
         Extra keyword *args* are attached to the mirrored trace span
@@ -70,7 +71,7 @@ class StageTimer:
         self.totals[label] += seconds
         self.counts[label] += 1
 
-    def feed(self, recorder) -> None:
+    def feed(self, recorder: Any) -> None:
         """Push the accumulated stage totals into *recorder*'s metrics.
 
         Each label lands as a gauge ``stage.<label>.seconds`` (the
@@ -110,7 +111,7 @@ class StageTimer:
         return f"StageTimer<{parts}>"
 
 
-_NULL_CTX = nullcontext()
+_NULL_CTX: nullcontext[None] = nullcontext()
 
 
 class NullTimer:
@@ -124,13 +125,13 @@ class NullTimer:
 
     __slots__ = ()
 
-    def stage(self, _label: str, **_args):
+    def stage(self, _label: str, **_args: Any) -> nullcontext[None]:
         return _NULL_CTX
 
     def add(self, _label: str, _seconds: float) -> None:
         pass
 
-    def feed(self, _recorder) -> None:
+    def feed(self, _recorder: Any) -> None:
         pass
 
     @property

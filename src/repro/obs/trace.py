@@ -26,11 +26,15 @@ import json
 import os
 import threading
 import time
+from typing import Any
 
 __all__ = ["Span", "TraceRecorder", "NullTrace", "NO_TRACE"]
 
+#: one recorded event: phase, name, t0 ns, duration ns, thread id, args
+_Event = tuple[str, str, int, int, int, "dict[str, Any]"]
 
-def _json_safe(value):
+
+def _json_safe(value: Any) -> Any:
     """Coerce span-arg values into JSON-serializable scalars."""
     if isinstance(value, (bool, int, float, str)) or value is None:
         return value
@@ -53,13 +57,18 @@ class Span:
 
     __slots__ = ("_trace", "name", "args", "_t0")
 
-    def __init__(self, trace: "TraceRecorder", name: str, args: dict):
+    _trace: "TraceRecorder"
+    name: str
+    args: dict[str, Any]
+    _t0: int
+
+    def __init__(self, trace: "TraceRecorder", name: str, args: dict[str, Any]) -> None:
         self._trace = trace
         self.name = name
         self.args = args
         self._t0 = 0
 
-    def set(self, **args) -> "Span":
+    def set(self, **args: Any) -> "Span":
         """Attach (or overwrite) span args; chainable."""
         self.args.update(args)
         return self
@@ -68,7 +77,7 @@ class Span:
         self._t0 = time.perf_counter_ns()
         return self
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, *exc: object) -> bool:
         t1 = time.perf_counter_ns()
         self._trace._events.append(
             ("X", self.name, self._t0, t1 - self._t0, threading.get_ident(), self.args)
@@ -86,15 +95,15 @@ class TraceRecorder:
 
     enabled = True
 
-    def __init__(self):
-        self._events: list[tuple] = []
+    def __init__(self) -> None:
+        self._events: list[_Event] = []
         self._t0 = time.perf_counter_ns()
 
-    def span(self, name: str, **args) -> Span:
+    def span(self, name: str, **args: Any) -> Span:
         """A context-managed span: ``with trace.span("phase", wave=8):``."""
         return Span(self, name, args)
 
-    def instant(self, name: str, **args) -> None:
+    def instant(self, name: str, **args: Any) -> None:
         """Record a zero-duration marker event."""
         self._events.append(
             ("i", name, time.perf_counter_ns(), 0, threading.get_ident(), args)
@@ -109,13 +118,13 @@ class TraceRecorder:
     def clear(self) -> None:
         self._events.clear()
 
-    def spans(self, name: str | None = None) -> list[dict]:
+    def spans(self, name: str | None = None) -> list[dict[str, Any]]:
         """Recorded complete spans as dicts (optionally filtered by name).
 
         ``ts_us``/``dur_us`` are microseconds since the recorder was
         constructed — the same values the Chrome export carries.
         """
-        out = []
+        out: list[dict[str, Any]] = []
         for ph, ev_name, t0, dur, tid, args in self._events:
             if ph != "X" or (name is not None and ev_name != name):
                 continue
@@ -130,7 +139,7 @@ class TraceRecorder:
             )
         return out
 
-    def to_chrome(self, process_name: str = "repro") -> dict:
+    def to_chrome(self, process_name: str = "repro") -> dict[str, Any]:
         """The trace as a Chrome trace-event JSON object.
 
         Every event carries the ``name``/``ph``/``ts``/``pid``/``tid``
@@ -139,7 +148,7 @@ class TraceRecorder:
         thread scope.  Timestamps are microseconds (the format's unit).
         """
         pid = os.getpid()
-        events: list[dict] = [
+        events: list[dict[str, Any]] = [
             {
                 "name": "process_name",
                 "ph": "M",
@@ -149,7 +158,7 @@ class TraceRecorder:
             }
         ]
         for ph, name, t0, dur, tid, args in self._events:
-            ev = {
+            ev: dict[str, Any] = {
                 "name": name,
                 "ph": ph,
                 "pid": pid,
@@ -164,7 +173,7 @@ class TraceRecorder:
             events.append(ev)
         return {"traceEvents": events, "displayTimeUnit": "ms"}
 
-    def write(self, path, process_name: str = "repro") -> str:
+    def write(self, path: str | os.PathLike[str], process_name: str = "repro") -> str:
         """Write the Chrome trace JSON to *path*; returns the path."""
         with open(path, "w") as fh:
             json.dump(self.to_chrome(process_name), fh)
@@ -179,13 +188,13 @@ class _NullSpan:
 
     __slots__ = ()
 
-    def set(self, **_args) -> "_NullSpan":
+    def set(self, **_args: Any) -> "_NullSpan":
         return self
 
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, *exc: object) -> bool:
         return False
 
 
@@ -198,10 +207,10 @@ class NullTrace:
     __slots__ = ()
     enabled = False
 
-    def span(self, _name: str, **_args) -> _NullSpan:
+    def span(self, _name: str, **_args: Any) -> _NullSpan:
         return _NULL_SPAN
 
-    def instant(self, _name: str, **_args) -> None:
+    def instant(self, _name: str, **_args: Any) -> None:
         pass
 
     def __len__(self) -> int:
@@ -213,7 +222,7 @@ class NullTrace:
     def clear(self) -> None:
         pass
 
-    def spans(self, name: str | None = None) -> list:
+    def spans(self, name: str | None = None) -> list[dict[str, Any]]:
         return []
 
 

@@ -59,6 +59,10 @@ __all__ = [
 #: (the service planner does; see :mod:`repro.service.planner`)
 MAX_STATE_ENTRIES = 1 << 27
 
+#: shared empty frontier for the batch relax's edgeless-wave return (the
+#: ``hot-loop-alloc`` rule's module-constant whitelist pattern)
+_EMPTY_V = np.empty(0, dtype=np.int64)
+
 
 @dataclass
 class BatchSSSPResult:
@@ -160,6 +164,7 @@ def batch_fused_delta_stepping(
     iota = [np.arange(max(len(ALi), len(AHi), 1), dtype=np.int32)]
     counters = {"buckets": 0, "phases": 0, "relaxations": 0, "updates": 0}
 
+    # repro: hot
     def relax(indptr, indices, weights, frontier, lo, hi, track_bucket):
         verts = frontier % n
         base = (frontier - verts).astype(np.int32)  # k·n offset of each entry's row
@@ -167,10 +172,11 @@ def batch_fused_delta_stepping(
         lengths = (indptr[verts + 1] - indptr[verts]).astype(np.int32)
         total = int(lengths.sum())
         if total == 0:
-            return np.empty(0, dtype=np.int64)
+            return _EMPTY_V
         if total >= 2**31:  # pragma: no cover - int32 expansion guard
             raise ValueError("relaxation wave too large; reduce the batch size")
         if total > len(iota[0]):
+            # repro: alloc-ok — geometric-style ramp regrowth, amortized away
             iota[0] = np.arange(total, dtype=np.int32)
         offsets = np.repeat(np.cumsum(lengths, dtype=np.int32) - lengths, lengths)
         flat = iota[0][:total] - offsets + np.repeat(starts, lengths)

@@ -33,8 +33,10 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ..kernels import min_by_target
 from ..parallel.pool import WorkerPool, get_pool
@@ -76,7 +78,7 @@ class ExchangeStats:
     entries_posted: int = 0
     entries_carried: int = 0
     entries_applied: int = 0
-    rounds: list = field(default_factory=list)
+    rounds: list[dict[str, int]] = field(default_factory=list)
 
     @property
     def bytes_carried(self) -> int:
@@ -88,7 +90,7 @@ class ExchangeStats:
         """Carried over posted (1.0 = no outbox dedup win)."""
         return self.entries_carried / self.entries_posted if self.entries_posted else 1.0
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, int]:
         return {
             "exchanges": self.exchanges,
             "entries_posted": self.entries_posted,
@@ -141,15 +143,15 @@ class Outbox:
     post linear in its candidate count.
     """
 
-    def __init__(self, n: int):
-        self.req = np.full(n, INF, dtype=np.float64)
-        self._touched: list[np.ndarray] = []
+    def __init__(self, n: int) -> None:
+        self.req: NDArray[np.float64] = np.full(n, INF, dtype=np.float64)
+        self._touched: list[NDArray[np.int64]] = []
         #: raw candidates posted since the last drain; kept here (one
         #: writer: the owning shard's step) so concurrent shard steps
         #: never race on a shared counter
         self.posted = 0
 
-    def post(self, targets: np.ndarray, dists: np.ndarray) -> None:
+    def post(self, targets: NDArray[np.int64], dists: NDArray[np.float64]) -> None:
         """Min-combine ``(targets, dists)`` candidates into the buffer."""
         if len(targets) == 0:
             return
@@ -157,7 +159,7 @@ class Outbox:
         np.minimum.at(self.req, targets, dists)
         self._touched.append(np.asarray(targets, dtype=np.int64))
 
-    def take(self) -> tuple[np.ndarray, np.ndarray]:
+    def take(self) -> tuple[NDArray[np.int64], NDArray[np.float64]]:
         """Drain: the unique touched targets and their best candidates."""
         self.posted = 0
         if not self._touched:
@@ -182,11 +184,13 @@ class FrontierExchange:
     array, and returns the vertices whose owners must re-activate them.
     """
 
-    def __init__(self, num_shards: int, num_vertices: int):
+    def __init__(self, num_shards: int, num_vertices: int) -> None:
         self.outboxes = [Outbox(num_vertices) for _ in range(num_shards)]
         self.stats = ExchangeStats()
 
-    def post(self, shard_id: int, targets: np.ndarray, dists: np.ndarray) -> None:
+    def post(
+        self, shard_id: int, targets: NDArray[np.int64], dists: NDArray[np.float64]
+    ) -> None:
         """Called from shard *shard_id*'s step: boundary candidates out.
 
         Concurrency-safe by construction, not by locking: each shard
@@ -196,7 +200,7 @@ class FrontierExchange:
         """
         self.outboxes[shard_id].post(targets, dists)
 
-    def flush(self, dist: np.ndarray) -> np.ndarray:
+    def flush(self, dist: NDArray[np.float64]) -> NDArray[np.int64]:
         """One exchange round: deliver all outboxes, min-combine, apply.
 
         Returns the (sorted, unique) vertices whose tentative distance
@@ -229,7 +233,7 @@ class Transport(ABC):
     name: str = "?"
 
     @abstractmethod
-    def run(self, fns) -> list:
+    def run(self, fns: Sequence[Callable[[], Any]]) -> list[Any]:
         """Execute the zero-argument *fns*, one per shard; barrier until
         all complete, results in submission order."""
 
@@ -242,7 +246,7 @@ class InProcessTransport(Transport):
 
     name = "inline"
 
-    def run(self, fns) -> list:
+    def run(self, fns: Sequence[Callable[[], Any]]) -> list[Any]:
         return [fn() for fn in fns]
 
 
@@ -255,18 +259,19 @@ class PoolTransport(Transport):
     shutdown stays with the pool registry.
     """
 
-    def __init__(self, pool: WorkerPool | None = None, num_threads: int = 4):
+    def __init__(self, pool: WorkerPool | None = None, num_threads: int = 4) -> None:
         self.pool = pool if pool is not None else get_pool(num_threads)
         self.name = f"threads[{self.pool.num_threads}]"
 
-    def run(self, fns) -> list:
-        return self.pool.run_batch(fns)
+    def run(self, fns: Sequence[Callable[[], Any]]) -> list[Any]:
+        result: list[Any] = self.pool.run_batch(fns)
+        return result
 
 
 #: transport spec → factory; the discovery surface of
 #: :func:`make_transport` (``threads`` takes an optional thread count,
 #: e.g. ``"threads:8"``).
-TRANSPORTS = {
+TRANSPORTS: dict[str, Callable[..., Transport]] = {
     "inline": lambda arg=None, pool=None: InProcessTransport(),
     "threads": lambda arg=None, pool=None: PoolTransport(
         pool=pool, num_threads=int(arg) if arg else 4
@@ -274,7 +279,7 @@ TRANSPORTS = {
 }
 
 
-def make_transport(spec=None, pool: WorkerPool | None = None) -> Transport:
+def make_transport(spec: Any = None, pool: WorkerPool | None = None) -> Transport:
     """Resolve a transport from a spec string, instance, or pool.
 
     ``None`` picks :class:`PoolTransport` when a *pool* is supplied and

@@ -247,6 +247,7 @@ class ShardedDeltaStepper(Stepper):
                 return c
             return _shard_step(shard, bound)
 
+        # repro: hot
         def _shard_step(shard, bound):
             c = {"phases": 0, "relaxations": 0, "updates": 0}
             ws = shard_ws[shard.id] if shard_ws is not None else None

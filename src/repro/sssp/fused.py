@@ -56,7 +56,7 @@ from ..kernels import (
     min_by_target,
     workspace_for,
 )
-from .instrument import NO_TIMER, StageTimer
+from ..obs.stage import NO_TIMER, StageTimer
 from .result import INF, SSSPResult
 
 __all__ = [
@@ -65,6 +65,10 @@ __all__ = [
     "build_light_csr",
     "build_heavy_csr",
 ]
+
+#: shared empty frontier — the fused relax's edgeless-wave return, so the
+#: hot loop never constructs a fresh empty array (``hot-loop-alloc`` rule)
+_EMPTY_V = np.empty(0, dtype=np.int64)
 
 
 def _compact_csr(graph: Graph, keep: np.ndarray):
@@ -197,13 +201,14 @@ def fused_delta_stepping(
         bq.push(improved_v, t[improved_v])
         return improved_v
 
+    # repro: hot
     def relax_fused(indptr, indices, weights, frontier, lo, hi, track_bucket):
         """Fused variant: candidates → per-target min → filtered scatter,
         one pass, no dense temporaries."""
         with timer.stage("relax:fused", kernel=kernel, wave=int(len(frontier))):
             targets, dists = gather_candidates(indptr, indices, weights, frontier, t, ws)
             if targets is None:
-                return np.empty(0, dtype=np.int64)
+                return _EMPTY_V
             counters["relaxations"] += len(targets)
             uts, ubest = min_by_target(targets, dists, workspace=ws, kernel=kernel)
             improved = ubest < t[uts]

@@ -42,7 +42,7 @@ from ..graphblas.types import BOOL, FP64
 from ..graphblas.unaryop import IDENTITY, range_filter, threshold_geq, threshold_gt, threshold_leq
 from ..graphblas.vector import Vector
 from ..graphs.graph import Graph
-from .instrument import NO_TIMER, StageTimer
+from ..obs.stage import NO_TIMER, StageTimer
 from .result import INF, SSSPResult
 
 __all__ = ["graphblas_delta_stepping", "build_light_heavy_matrices"]

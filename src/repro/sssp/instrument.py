@@ -1,14 +1,26 @@
-"""Stage-level timing instrumentation — now a thin alias of :mod:`repro.obs.stage`.
+"""Deprecated alias of :mod:`repro.obs.stage` — import from there instead.
 
 :class:`StageTimer` / :data:`NO_TIMER` moved into the unified
 observability substrate (:mod:`repro.obs`) so the §VI.C per-stage
 accounting and the trace/metrics layer share one implementation; every
 existing ``from repro.sssp.instrument import ...`` keeps working through
-this module.  New code should import from :mod:`repro.obs` directly.
+this module, at the price of a :class:`DeprecationWarning` on first
+import.  In-repo code is already migrated (the ``no-deprecated-import``
+lint rule keeps it that way); this alias exists only for external
+importers and will be removed once the deprecation has aged.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from ..obs.stage import NO_TIMER, NullTimer, StageTimer
 
 __all__ = ["StageTimer", "NullTimer", "NO_TIMER"]
+
+warnings.warn(
+    "repro.sssp.instrument is deprecated; import StageTimer/NullTimer/NO_TIMER "
+    "from repro.obs.stage (or repro.obs) instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -29,11 +29,13 @@ member, and one CLI (``repro steppers --list``) rendering the same table.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Any, Callable, Iterable
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ..graphs.graph import Graph
-from ..kernels import gather_candidates, min_by_target
+from ..kernels import RelaxWorkspace, gather_candidates, min_by_target
 from ..sssp.result import INF, SSSPResult
 
 __all__ = [
@@ -51,13 +53,13 @@ __all__ = [
 ]
 
 
-def format_known(names) -> str:
+def format_known(names: Iterable[str]) -> str:
     """Render a registry's keys for an error message (shared idiom with
     :func:`repro.sssp.delta.choose_delta`)."""
     return ", ".join(names)
 
 
-def new_counters() -> dict:
+def new_counters() -> dict[str, Any]:
     """A fresh work-counter dict in :class:`~repro.sssp.result.SSSPResult`
     vocabulary: ``steps`` are outer batches (buckets for Δ-steppers),
     ``phases`` inner relaxation waves."""
@@ -65,9 +67,16 @@ def new_counters() -> dict:
 
 
 def relax_wave(
-    indptr, indices, weights, frontier, dist, counters, workspace=None, kernel="auto",
-    recorder=None,
-) -> tuple[np.ndarray, np.ndarray]:
+    indptr: NDArray[np.int64],
+    indices: NDArray[np.int64],
+    weights: NDArray[np.float64],
+    frontier: NDArray[np.int64],
+    dist: NDArray[np.float64],
+    counters: dict[str, Any],
+    workspace: RelaxWorkspace | None = None,
+    kernel: str = "auto",
+    recorder: Any = None,
+) -> tuple[NDArray[np.int64], NDArray[np.float64]]:
     """One relaxation wave: all requests out of *frontier*, min-merged.
 
     The shared relax half of the step/relax contract — the same fused
@@ -96,10 +105,17 @@ def relax_wave(
 
 
 def _relax_wave(
-    indptr, indices, weights, frontier, dist, counters, workspace, kernel
-) -> tuple[np.ndarray, np.ndarray]:
+    indptr: NDArray[np.int64],
+    indices: NDArray[np.int64],
+    weights: NDArray[np.float64],
+    frontier: NDArray[np.int64],
+    dist: NDArray[np.float64],
+    counters: dict[str, Any],
+    workspace: RelaxWorkspace | None,
+    kernel: str,
+) -> tuple[NDArray[np.int64], NDArray[np.float64]]:
     targets, dists = gather_candidates(indptr, indices, weights, frontier, dist, workspace)
-    if targets is None:
+    if targets is None or dists is None:
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
     counters["relaxations"] += len(targets)
     uts, ubest = min_by_target(targets, dists, workspace=workspace, kernel=kernel)
@@ -153,14 +169,20 @@ class Stepper(ABC):
     #: short spec-parameter spellings → the solve() keyword they set
     #: (``"sharded(shards=4)"`` → ``num_shards=4``); consulted by
     #: :func:`resolve_stepper_spec`, empty for most steppers
-    spec_param_aliases: dict = {}
+    spec_param_aliases: dict[str, str] = {}
 
     @abstractmethod
-    def solve(self, graph: Graph, source: int, **params) -> SSSPResult:
+    def solve(self, graph: Graph, source: int, **params: Any) -> SSSPResult:
         """Fresh single-source run; implementations share the
         ``(graph, source)`` leading signature of :data:`repro.sssp.METHODS`."""
 
-    def resolve(self, graph: Graph, dist: np.ndarray, active: np.ndarray, **params) -> dict:
+    def resolve(
+        self,
+        graph: Graph,
+        dist: NDArray[np.float64],
+        active: NDArray[np.bool_],
+        **params: Any,
+    ) -> dict[str, Any]:
         """Run the schedule from a seeded state to quiescence.
 
         *dist* is modified in place; *active* is a boolean mask of
@@ -169,12 +191,14 @@ class Stepper(ABC):
         """
         raise NotImplementedError(f"stepper {self.name!r} does not support resolve()")
 
-    def default_params(self, graph: Graph) -> dict:
+    def default_params(self, graph: Graph) -> dict[str, Any]:
         """The parameter values a bare ``solve(graph, source)`` will use
         (reported by the bench so runs are reproducible)."""
         return {}
 
-    def _seeded_solve(self, graph: Graph, source: int, method: str, **params) -> SSSPResult:
+    def _seeded_solve(
+        self, graph: Graph, source: int, method: str, **params: Any
+    ) -> SSSPResult:
         """``resolve`` seeded with ``{source: 0}``, packaged as a result."""
         n = graph.num_vertices
         if not 0 <= source < n:
@@ -220,12 +244,12 @@ class FunctionStepper(Stepper):
     def __init__(
         self,
         name: str,
-        fn,
+        fn: Callable[..., SSSPResult],
         description: str = "",
-        defaults: dict | None = None,
+        defaults: dict[str, Any] | None = None,
         kernel_capable: bool = False,
         recorder_capable: bool = False,
-    ):
+    ) -> None:
         self.name = name
         self.description = description
         self._fn = fn
@@ -236,7 +260,7 @@ class FunctionStepper(Stepper):
         #: recording run still gets one whole-solve span from the wrapper
         self.recorder_capable = recorder_capable
 
-    def solve(self, graph: Graph, source: int, **params) -> SSSPResult:
+    def solve(self, graph: Graph, source: int, **params: Any) -> SSSPResult:
         kw = {**self._defaults, **params}
         recorder = kw.pop("recorder", None)
         if recorder:
@@ -246,7 +270,7 @@ class FunctionStepper(Stepper):
                 return self._fn(graph, source, **kw)
         return self._fn(graph, source, **kw)
 
-    def default_params(self, graph: Graph) -> dict:
+    def default_params(self, graph: Graph) -> dict[str, Any]:
         return dict(self._defaults)
 
 
@@ -281,7 +305,7 @@ def stepper_names(kind: str | None = None) -> list[str]:
     return [s.name for s in STEPPERS.values() if kind is None or s.kind == kind]
 
 
-def _parse_value(text: str):
+def _parse_value(text: str) -> int | float | str:
     """A spec parameter value: int, then float, then bare string."""
     for cast in (int, float):
         try:
@@ -291,7 +315,7 @@ def _parse_value(text: str):
     return text
 
 
-def parse_stepper_spec(spec: str) -> tuple[str, dict]:
+def parse_stepper_spec(spec: str) -> tuple[str, dict[str, int | float | str]]:
     """Split a stepper spec into ``(registry name, solve params)``.
 
     A *spec* is a registry name with optional call-style parameters —
@@ -309,7 +333,7 @@ def parse_stepper_spec(spec: str) -> tuple[str, dict]:
     rest = rest.strip()
     if not rest.endswith(")"):
         raise ValueError(f"malformed stepper spec {spec!r} (missing ')')")
-    params: dict = {}
+    params: dict[str, int | float | str] = {}
     body = rest[:-1].strip()
     if body:
         for item in body.split(","):
@@ -322,7 +346,7 @@ def parse_stepper_spec(spec: str) -> tuple[str, dict]:
     return name.strip(), params
 
 
-def resolve_stepper_spec(spec: str) -> tuple[Stepper, dict]:
+def resolve_stepper_spec(spec: str) -> tuple[Stepper, dict[str, int | float | str]]:
     """Look up a spec's stepper and normalize its params.
 
     Param spellings go through the stepper's own

@@ -58,8 +58,7 @@ class TestKernelEquivalence:
         targets = np.array([1, 1, 4], dtype=np.int64)
         dists = np.array([3.0, 2.0, 7.0])
         _, _, ws = _both(targets, dists, 6)
-        assert np.all(np.isinf(ws.req))
-        assert not ws.touched.any()
+        ws.check()  # req all-inf, touched all-False, offenders named
 
     @settings(max_examples=60, deadline=None)
     @given(st.data())
@@ -80,7 +79,7 @@ class TestKernelEquivalence:
         assert np.array_equal(ts_a, ts_b)
         assert np.array_equal(ds_a, ds_b)
         # the invariant must hold again so the next wave starts clean
-        assert np.all(np.isinf(ws.req)) and not ws.touched.any()
+        ws.check()
 
 
 class TestDispatch:

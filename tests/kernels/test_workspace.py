@@ -81,6 +81,42 @@ class TestSteadyStateReuse:
             RelaxWorkspace(-1)
 
 
+class TestCheckInvariant:
+    """``RelaxWorkspace.check()``: the debug assertion of the between-waves
+    steady state (req all-inf, touched all-False), wired into the kernel
+    property tests and the race harness."""
+
+    def test_fresh_and_reset_arenas_pass(self):
+        ws = RelaxWorkspace(8)
+        ws.check()
+        ws.req[1] = 0.5
+        ws.reset()
+        ws.check()
+
+    def test_leaked_request_named(self):
+        ws = RelaxWorkspace(8)
+        ws.req[2] = 1.0
+        with pytest.raises(AssertionError, match=r"req not all-inf at keys \[2\]"):
+            ws.check()
+
+    def test_stuck_touched_named(self):
+        ws = RelaxWorkspace(8)
+        ws.touched[5] = True
+        with pytest.raises(AssertionError, match=r"touched not all-False at keys \[5\]"):
+            ws.check()
+
+    def test_listing_caps_at_eight_with_total(self):
+        ws = RelaxWorkspace(32)
+        ws.touched[:12] = True
+        with pytest.raises(AssertionError, match=r"\(12 total\)"):
+            ws.check()
+
+    def test_clean_after_a_full_solve(self, grid_graph):
+        ws = RelaxWorkspace(grid_graph.num_vertices)
+        fused_delta_stepping(grid_graph, 0, 1.0, workspace=ws, kernel="scatter")
+        ws.check()
+
+
 class TestPerGraphCaching:
     def test_workspace_for_memoizes(self, grid_graph):
         ws1 = workspace_for(grid_graph)

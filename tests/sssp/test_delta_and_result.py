@@ -14,7 +14,7 @@ from repro.sssp.delta import (
     dijkstra_equivalent_delta,
 )
 from repro.sssp.fused import fused_delta_stepping
-from repro.sssp.instrument import NO_TIMER, StageTimer
+from repro.obs.stage import NO_TIMER, StageTimer
 from repro.sssp.result import SSSPResult
 
 

@@ -219,6 +219,29 @@ class TestCommands:
         assert "sharded" in out
         assert "verified" in out
 
+    def test_lint_clean_on_repo(self, capsys):
+        assert main(["lint"]) == 0
+        assert "repro lint: clean (0 findings)" in capsys.readouterr().out
+
+    def test_lint_select_and_json(self, capsys):
+        import json
+
+        assert main(["lint", "--select", "export-hygiene", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"findings": [], "count": 0}
+
+    def test_lint_list_enumerates_rules(self, capsys):
+        from repro.analysis import RULES
+
+        assert main(["lint", "--list"]) == 0
+        out = capsys.readouterr().out
+        for rule in RULES:
+            assert rule in out
+
+    def test_lint_unknown_rule_exits_2(self, capsys):
+        assert main(["lint", "--select", "nope"]) == 2
+        assert "unknown lint rule" in capsys.readouterr().err
+
     def test_profile_command_tiny(self, capsys, monkeypatch):
         # shrink the suite to one graph to keep the test fast
         import repro.bench.workloads as wl
