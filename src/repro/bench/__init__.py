@@ -5,6 +5,9 @@
   Fig. 3, Fig. 4, and the §VI.C profile claim.
 - :mod:`~repro.bench.registry` — experiment table driving the CLI and
   EXPERIMENTS.md.
+- :mod:`~repro.bench.history` — bench provenance, the append-only
+  ``BENCH_HISTORY.jsonl`` ledger, and the ``repro bench-diff``
+  regression gate.
 - :mod:`~repro.bench.timing` / :mod:`~repro.bench.reporting` — protocol
   and output plumbing.
 
@@ -20,6 +23,7 @@ from .figures import (
     render_sec6c,
     sec6c_profile,
 )
+from .history import BenchHistory, diff_bench, diff_payloads, provenance, render_diff
 from .registry import EXPERIMENTS, Experiment, run_experiment
 from .reporting import ascii_bar_chart, format_table, geometric_mean
 from .timing import TimingStats, time_callable
@@ -35,6 +39,11 @@ __all__ = [
     "EXPERIMENTS",
     "Experiment",
     "run_experiment",
+    "BenchHistory",
+    "diff_bench",
+    "diff_payloads",
+    "provenance",
+    "render_diff",
     "ascii_bar_chart",
     "format_table",
     "geometric_mean",

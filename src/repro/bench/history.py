@@ -1,0 +1,561 @@
+"""Bench history + regression diffing: the perf trajectory as data.
+
+``write_bench_json`` makes every bench run machine-readable; this module
+makes the *sequence* of runs mean something:
+
+- :func:`provenance` — the run's identity (git sha, host, cpu count,
+  python/numpy versions).  Schema-2 bench payloads embed it, so two
+  JSON files can answer "are these numbers even comparable?" before any
+  threshold math.
+- :class:`BenchHistory` — an append-only ``BENCH_HISTORY.jsonl`` store,
+  one slim line per bench run.  Its per-metric series are what makes the
+  diff noise-aware: a metric that historically wobbles ±20% gets a wider
+  gate than one that holds to ±2%.
+- :func:`diff_payloads` / :func:`diff_bench` — compare a fresh
+  ``BENCH_<NAME>.json`` against a committed baseline, per row and per
+  metric, with direction-aware thresholds (a *drop* in ``speedup`` and a
+  *rise* in ``ms`` are both regressions; ``nodes`` is informational).
+  ``repro bench-diff`` wires this to the CLI and exits nonzero on any
+  regression — the gate that turns a perf claim into something CI holds.
+
+Comparability rules: wall-clock metrics (``ms``, ``qps``, ...) are only
+gated when baseline and fresh runs come from the *same host* (schema-2
+provenance on both sides); cross-host, they demote to informational so a
+laptop baseline can't fail a CI runner.  Ratio metrics (``speedup``,
+``vs_best``) and deterministic volumes (``bytes``, ``kb``) are gated
+everywhere.  Schema-1 payloads (no provenance) still diff — their
+wall-clock metrics just can't be certified same-host.
+
+This module deliberately does **not** import :mod:`repro.bench.registry`
+(registry imports *us* for provenance), and touches nothing outside the
+stdlib + numpy.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import socket
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+import numpy as np
+
+__all__ = [
+    "HISTORY_FILENAME",
+    "provenance",
+    "history_path",
+    "BenchHistory",
+    "load_bench_json",
+    "metric_direction",
+    "metric_scope",
+    "row_key",
+    "Finding",
+    "DiffResult",
+    "diff_payloads",
+    "diff_bench",
+    "render_diff",
+]
+
+#: the JSONL ledger's filename (resolved next to the BENCH_*.json files)
+HISTORY_FILENAME = "BENCH_HISTORY.jsonl"
+
+#: bench-payload schema versions this module reads
+KNOWN_SCHEMAS = (1, 2)
+
+#: substrings that mark a higher-is-better metric (checked before the
+#: lower-is-better suffixes so ``relax_per_ms`` classifies as throughput)
+_HIGHER_TOKENS = ("speedup", "qps", "throughput", "per_ms", "hit_rate")
+
+#: lower-is-better suffixes/names (times and volumes)
+_LOWER_SUFFIXES = ("_ms", "seconds", "bytes", "_kb")
+_LOWER_NAMES = ("ms", "kb", "vs_best")
+
+#: wall-clock metrics: only same-host comparisons are meaningful
+#: (vs_best is a race between timings, so it inherits their noise)
+_HOST_TOKENS = ("ms", "seconds", "qps", "throughput", "per_ms", "vs_best")
+
+#: numeric row fields that are configuration, not measurement — they
+#: join the row key instead of being diffed
+_KEY_NUMERIC_FIELDS = frozenset({"shards", "fraction", "queries", "threads"})
+
+#: string row fields that are run *outcomes*, not configuration — they
+#: stay out of the row key (a flipped tuner pick must not orphan the row)
+_OUTCOME_FIELDS = frozenset({"verified", "picked"})
+
+#: absolute floor for time comparisons: both sides under this many ms is
+#: timer noise, not signal
+_TIME_FLOOR_MS = 0.05
+
+#: noise widening: tolerance grows to this many historical CVs
+_NOISE_SIGMAS = 3.0
+
+
+# --------------------------------------------------------------------------
+# provenance
+# --------------------------------------------------------------------------
+
+
+def _git_sha() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def provenance() -> dict[str, Any]:
+    """The run-identity dict schema-2 bench payloads embed.
+
+    ``git_sha`` is ``None`` outside a git checkout; everything else is
+    always present.  ``host`` is what the same-host gating of wall-clock
+    metrics keys on.
+    """
+    return {
+        "git_sha": _git_sha(),
+        "host": socket.gethostname(),
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+    }
+
+
+# --------------------------------------------------------------------------
+# the JSONL history store
+# --------------------------------------------------------------------------
+
+
+def history_path(path: str | os.PathLike | None = None) -> Path:
+    """Where ``BENCH_HISTORY.jsonl`` lives.
+
+    Explicit *path* wins; else ``$REPRO_BENCH_HISTORY``; else
+    ``HISTORY_FILENAME`` inside ``$REPRO_BENCH_DIR`` (or the cwd) — the
+    same resolution ladder as ``bench_json_path``.
+    """
+    if path is not None:
+        return Path(path)
+    env = os.environ.get("REPRO_BENCH_HISTORY")
+    if env:
+        return Path(env)
+    base = os.environ.get("REPRO_BENCH_DIR", ".")
+    return Path(base) / HISTORY_FILENAME
+
+
+def _json_safe(value: Any) -> Any:
+    """NumPy scalars → plain JSON values (arrays become lists)."""
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value
+
+
+class BenchHistory:
+    """Append-only JSONL ledger of bench runs.
+
+    One line per ``write_bench_json`` payload, slimmed to what the diff
+    needs: experiment, schema, timestamp, provenance, headline, and the
+    flat ``{row_key: {metric: value}}`` measurement map.  Corrupt lines
+    are skipped on read (an append-only log must survive a torn write).
+    """
+
+    def __init__(self, path: str | os.PathLike | None = None) -> None:
+        self.path = history_path(path)
+
+    def append(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Record one bench payload; returns the slim entry written."""
+        rows = payload.get("rows", [])
+        entry = {
+            "experiment": payload.get("experiment"),
+            "schema": payload.get("schema"),
+            "written_at": payload.get("written_at")
+            or time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "provenance": _json_safe(payload.get("provenance") or {}),
+            "headline": _json_safe(payload.get("headline") or {}),
+            "metrics": {
+                row_key(row): {
+                    k: _json_safe(v)
+                    for k, v in row.items()
+                    if isinstance(v, (int, float, np.integer, np.floating))
+                    and not isinstance(v, bool)
+                    and k not in _KEY_NUMERIC_FIELDS
+                }
+                for row in rows
+            },
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # heal a torn final line (crashed writer) so the new entry is
+        # not glued onto garbage and lost with it
+        needs_newline = False
+        if self.path.exists():
+            with open(self.path, "rb") as fh:
+                try:
+                    fh.seek(-1, os.SEEK_END)
+                    needs_newline = fh.read(1) != b"\n"
+                except OSError:  # empty file
+                    pass
+        with open(self.path, "a") as fh:
+            if needs_newline:
+                fh.write("\n")
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        return entry
+
+    def entries(self, experiment: str | None = None) -> list[dict[str, Any]]:
+        """All (parseable) entries, oldest first, optionally filtered."""
+        if not self.path.exists():
+            return []
+        out: list[dict[str, Any]] = []
+        with open(self.path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if not isinstance(entry, dict):
+                    continue
+                if experiment and entry.get("experiment") != experiment.upper():
+                    continue
+                out.append(entry)
+        return out
+
+    def series(
+        self, experiment: str, key: str, metric: str, host: str | None = None
+    ) -> list[float]:
+        """The historical values of one (row, metric), oldest first.
+
+        With *host* given, only entries from that host contribute — the
+        noise model must not mix machines.
+        """
+        values: list[float] = []
+        for entry in self.entries(experiment):
+            if host is not None and entry.get("provenance", {}).get("host") != host:
+                continue
+            value = entry.get("metrics", {}).get(key, {}).get(metric)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                values.append(float(value))
+        return values
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BenchHistory<{self.path}>"
+
+
+# --------------------------------------------------------------------------
+# payload loading + metric classification
+# --------------------------------------------------------------------------
+
+
+def load_bench_json(path: str | os.PathLike) -> dict[str, Any]:
+    """Load and validate one ``BENCH_<NAME>.json`` payload (schema 1 or 2)."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict) or "rows" not in payload:
+        raise ValueError(f"{path!s} is not a bench payload (no 'rows')")
+    schema = payload.get("schema")
+    if schema not in KNOWN_SCHEMAS:
+        raise ValueError(
+            f"{path!s} has unknown bench schema {schema!r} (known: {KNOWN_SCHEMAS})"
+        )
+    return payload
+
+
+def metric_direction(name: str) -> str:
+    """``"higher"`` / ``"lower"`` / ``"info"`` for one metric name.
+
+    Higher-is-better tokens win first (``relax_per_ms`` is throughput,
+    not a time); then the time/volume suffixes; everything else —
+    ``nodes``, ``edges``, ``phases``, ``cut_frac`` — is informational
+    and never gated.
+    """
+    lowered = name.lower()
+    if any(tok in lowered for tok in _HIGHER_TOKENS):
+        return "higher"
+    if lowered in _LOWER_NAMES or lowered.endswith(_LOWER_SUFFIXES):
+        return "lower"
+    return "info"
+
+
+def metric_scope(name: str) -> str:
+    """``"host"`` (wall-clock — same-host comparisons only) or
+    ``"portable"`` (ratios and deterministic volumes)."""
+    lowered = name.lower()
+    if lowered in ("ms",) or any(tok in lowered for tok in _HOST_TOKENS):
+        return "host"
+    return "portable"
+
+
+def row_key(row: dict[str, Any]) -> str:
+    """The identity of one bench row: its string-valued configuration
+    fields plus the numeric configuration axes (shards, fraction, ...),
+    rendered ``k=v/k=v`` in key order."""
+    parts = []
+    for k in sorted(row):
+        v = row[k]
+        if k in _OUTCOME_FIELDS:
+            continue
+        if isinstance(v, str) or k in _KEY_NUMERIC_FIELDS:
+            parts.append(f"{k}={v}")
+    return "/".join(parts) if parts else "<row>"
+
+
+# --------------------------------------------------------------------------
+# the diff
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Finding:
+    """One compared metric (or correctness flag) and its verdict."""
+
+    experiment: str
+    key: str
+    metric: str
+    baseline: Any
+    fresh: Any
+    status: str  #: "ok" | "regression" | "improved" | "info" | "skipped"
+    change: float | None = None  #: signed relative change, + = worsened
+    tolerance: float | None = None
+    note: str = ""
+
+
+@dataclass
+class DiffResult:
+    """Everything :func:`diff_payloads` concluded about one experiment."""
+
+    experiment: str
+    findings: list[Finding] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[Finding]:
+        return [f for f in self.findings if f.status == "regression"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def _hosts_match(baseline: dict[str, Any], fresh: dict[str, Any]) -> bool:
+    b = baseline.get("provenance") or {}
+    f = fresh.get("provenance") or {}
+    return bool(b.get("host")) and b.get("host") == f.get("host")
+
+
+def _num(value: Any) -> float | None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def diff_payloads(
+    baseline: dict[str, Any],
+    fresh: dict[str, Any],
+    history: BenchHistory | None = None,
+    time_tolerance: float = 0.5,
+    ratio_tolerance: float = 0.25,
+    absolute: str = "auto",
+) -> DiffResult:
+    """Compare a fresh bench payload against a committed baseline.
+
+    Rows pair up by :func:`row_key`; each shared numeric metric is
+    classified by :func:`metric_direction` and judged against a relative
+    tolerance — *time_tolerance* for wall-clock metrics, *ratio_tolerance*
+    for ratios and volumes — widened to ``3×`` the metric's historical
+    coefficient of variation when *history* holds ≥3 same-host samples.
+
+    *absolute* controls wall-clock gating: ``"auto"`` gates only when
+    both payloads carry the same schema-2 host, ``"always"`` gates
+    regardless, ``"never"`` demotes every wall-clock metric to info.
+
+    Correctness riders: a row whose baseline ``verified`` is ``"ok"``
+    must stay ``"ok"``; a headline boolean that was ``True`` must stay
+    ``True``.  Those regress with no tolerance at all.
+    """
+    if absolute not in ("auto", "always", "never"):
+        raise ValueError(f"absolute must be auto/always/never, got {absolute!r}")
+    experiment = str(fresh.get("experiment") or baseline.get("experiment") or "?")
+    result = DiffResult(experiment=experiment)
+
+    gate_absolute = absolute == "always" or (
+        absolute == "auto" and _hosts_match(baseline, fresh)
+    )
+    if absolute == "auto" and not gate_absolute:
+        result.notes.append(
+            "wall-clock metrics are informational: baseline and fresh runs "
+            "are not certified same-host (need schema-2 provenance on both)"
+        )
+    host = (fresh.get("provenance") or {}).get("host")
+
+    base_rows = {row_key(r): r for r in baseline.get("rows", [])}
+    fresh_rows = {row_key(r): r for r in fresh.get("rows", [])}
+
+    for key in sorted(base_rows.keys() | fresh_rows.keys()):
+        brow, frow = base_rows.get(key), fresh_rows.get(key)
+        if brow is None or frow is None:
+            note = (
+                "row only in fresh run (no baseline)"
+                if brow is None
+                else "row missing from fresh run"
+            )
+            result.findings.append(
+                Finding(experiment, key, "<row>", None, None, "skipped", note=note)
+            )
+            continue
+
+        # correctness rider: verified must not flip away from "ok"
+        if str(brow.get("verified", "")).lower() == "ok":
+            fv = str(frow.get("verified", ""))
+            status = "ok" if fv.lower() == "ok" else "regression"
+            result.findings.append(
+                Finding(
+                    experiment, key, "verified", brow.get("verified"), frow.get("verified"),
+                    status,
+                    note="" if status == "ok" else "verification flipped away from ok",
+                )
+            )
+
+        for metric in sorted(brow.keys() & frow.keys()):
+            b, f = _num(brow[metric]), _num(frow[metric])
+            if b is None or f is None or metric in _KEY_NUMERIC_FIELDS:
+                continue
+            direction = metric_direction(metric)
+            if direction == "info":
+                continue
+            scope = metric_scope(metric)
+            if scope == "host" and not gate_absolute:
+                result.findings.append(
+                    Finding(experiment, key, metric, b, f, "info",
+                            note="cross-host wall clock, not gated")
+                )
+                continue
+            if scope == "host" and max(abs(b), abs(f)) < _TIME_FLOOR_MS:
+                result.findings.append(
+                    Finding(experiment, key, metric, b, f, "skipped",
+                            note=f"both sides under the {_TIME_FLOOR_MS} ms timer floor")
+                )
+                continue
+
+            base_tol = time_tolerance if scope == "host" else ratio_tolerance
+            tol, note = base_tol, ""
+            if history is not None:
+                samples = history.series(experiment, key, metric,
+                                         host=host if scope == "host" else None)
+                if len(samples) >= 3:
+                    arr = np.asarray(samples, dtype=float)
+                    mean = float(arr.mean())
+                    if mean:
+                        cv = float(arr.std()) / abs(mean)
+                        widened = _NOISE_SIGMAS * cv
+                        if widened > tol:
+                            tol = widened
+                            note = (f"tolerance widened to {tol:.0%} from "
+                                    f"{len(samples)} historical samples (cv {cv:.0%})")
+
+            if b == 0:
+                change = 0.0 if f == 0 else float("inf")
+            else:
+                # signed relative change, positive = worsened
+                change = (f - b) / abs(b) if direction == "lower" else (b - f) / abs(b)
+            if change > tol:
+                status = "regression"
+            elif change < -tol:
+                status = "improved"
+            else:
+                status = "ok"
+            result.findings.append(
+                Finding(experiment, key, metric, b, f, status,
+                        change=change, tolerance=tol, note=note)
+            )
+
+    # headline riders: a True boolean claim must stay True; numeric
+    # headline metrics diff like row metrics
+    bhead = baseline.get("headline") or {}
+    fhead = fresh.get("headline") or {}
+    for name in sorted(bhead.keys() & fhead.keys()):
+        bv, fv = bhead[name], fhead[name]
+        if isinstance(bv, bool):
+            if bv and not fv:
+                result.findings.append(
+                    Finding(experiment, "<headline>", name, bv, fv, "regression",
+                            note="headline claim flipped to False")
+                )
+            else:
+                result.findings.append(
+                    Finding(experiment, "<headline>", name, bv, fv,
+                            "ok" if isinstance(fv, bool) else "info")
+                )
+    return result
+
+
+def diff_bench(
+    name: str,
+    baseline_dir: str | os.PathLike = ".",
+    fresh_dir: str | os.PathLike | None = None,
+    history: BenchHistory | None = None,
+    **kwargs: Any,
+) -> DiffResult:
+    """Diff ``BENCH_<NAME>.json`` in *fresh_dir* against *baseline_dir*.
+
+    *fresh_dir* defaults to ``$REPRO_BENCH_DIR`` (or the cwd) — where a
+    just-run bench landed its JSON.  Keyword arguments pass through to
+    :func:`diff_payloads`.
+    """
+    filename = f"BENCH_{name.upper()}.json"
+    baseline = load_bench_json(Path(baseline_dir) / filename)
+    fresh_base = (
+        Path(fresh_dir)
+        if fresh_dir is not None
+        else Path(os.environ.get("REPRO_BENCH_DIR", "."))
+    )
+    fresh = load_bench_json(fresh_base / filename)
+    return diff_payloads(baseline, fresh, history=history, **kwargs)
+
+
+def render_diff(result: DiffResult, verbose: bool = False) -> str:
+    """One experiment's diff as a text panel (regressions always shown;
+    *verbose* adds every compared metric)."""
+    lines = [f"bench-diff {result.experiment}"]
+    for note in result.notes:
+        lines.append(f"  note: {note}")
+    counts: dict[str, int] = {}
+    for f in result.findings:
+        counts[f.status] = counts.get(f.status, 0) + 1
+    for f in result.findings:
+        if f.status != "regression" and not verbose:
+            continue
+        marker = {"regression": "REGRESSION", "improved": "improved",
+                  "ok": "ok", "info": "info", "skipped": "skip"}[f.status]
+        if f.change is not None and f.tolerance is not None:
+            detail = (f"{f.baseline:g} -> {f.fresh:g} "
+                      f"({f.change:+.0%} vs tol {f.tolerance:.0%})")
+        else:
+            detail = f"{f.baseline!r} -> {f.fresh!r}"
+        note = f"  [{f.note}]" if f.note else ""
+        lines.append(f"  {marker:<10} {f.key} :: {f.metric}  {detail}{note}")
+    summary = ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
+    lines.append(f"  == {'PASS' if result.ok else 'FAIL'} ({summary or 'nothing compared'})")
+    return "\n".join(lines)

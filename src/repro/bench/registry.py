@@ -23,6 +23,7 @@ from typing import Callable
 
 import numpy as np
 
+from .history import provenance
 from .figures import (
     fig3_series,
     fig4_series,
@@ -182,14 +183,18 @@ def write_bench_json(
 
     The payload is the experiment's raw rows plus an optional headline
     dict (the machine-readable verdict, e.g. the KERNEL bench's
-    pass/fail and best speedup) and enough provenance to diff runs.
-    Returns the written path.
+    pass/fail and best speedup) and enough provenance to diff runs:
+    schema 2 embeds :func:`repro.bench.history.provenance` (git sha,
+    host, cpu count, python/numpy versions), which is what lets
+    ``repro bench-diff`` certify two payloads same-host before gating
+    wall-clock metrics.  Returns the written path.
     """
     payload = {
         "experiment": name.upper(),
-        "schema": 1,
+        "schema": 2,
         "written_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "claim": EXPERIMENTS[name.upper()].claim if name.upper() in EXPERIMENTS else None,
+        "provenance": provenance(),
         "headline": headline or {},
         "rows": rows,
     }

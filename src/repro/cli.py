@@ -10,6 +10,9 @@ profile     regenerate the §VI.C operation-share breakdown
 run         one SSSP run with any implementation or stepper, printing the summary
 query       answer distance queries through the service layer (cache + batch)
 trace       record one traced run (solve + queries) as Chrome trace JSON
+report      render a recorded run (or a saved trace JSON) as a markdown/HTML report
+metrics     OpenMetrics exposition of a recorded run, optionally served for scraping
+bench-diff  diff fresh BENCH_*.json against committed baselines (regression gate)
 serve-bench regenerate the SERVE experiment (batched vs looped throughput)
 mutate-bench regenerate the DYN experiment (incremental repair vs recompute)
 step-bench  regenerate the STEP experiment (stepping portfolio + tuner pick)
@@ -34,11 +37,17 @@ Every bench runner (``serve-bench``, ``mutate-bench``, ``step-bench``,
 ``shard-bench``, ``kernel-bench``) also writes its rows as
 ``BENCH_<NAME>.json`` next to the repo root through the shared writer in
 :mod:`repro.bench.registry` — the machine-readable perf trajectory.
+``bench-diff`` is the consumer: it compares a fresh run's JSON against
+the committed baselines (and the ``BENCH_HISTORY.jsonl`` noise ledger)
+and exits non-zero on regression; ``report`` turns a recorded run into
+a shareable document; ``metrics`` exposes the same run's registry as
+OpenMetrics text (``--serve`` keeps a scrape endpoint up).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 __all__ = ["main", "build_parser"]
@@ -110,6 +119,76 @@ def build_parser() -> argparse.ArgumentParser:
                     help="CI gate instead of tracing: time the fused solver with recording "
                          "disabled vs without a recorder at all and exit non-zero if the "
                          "disabled path costs more than 3%%")
+
+    sp = sub.add_parser(
+        "report",
+        help="render a recorded run (or a saved trace JSON) as a run report",
+    )
+    sp.add_argument("graph", nargs="?", default="ci-ws",
+                    help="dataset name to run and report (default: ci-ws; ignored with --trace)")
+    sp.add_argument("--stepper", default="sharded(shards=4,partitioner=bfs)",
+                    help="stepper spec to record, e.g. 'sharded(shards=4,partitioner=bfs)' "
+                         "(default: sharded(shards=4,partitioner=bfs) — the per-superstep "
+                         "exchange ledger needs a sharded run)")
+    sp.add_argument("--weights", default="unit")
+    sp.add_argument("--queries", type=int, default=8,
+                    help="also serve N point queries through a recorded QueryService "
+                         "(0 disables; default: 8)")
+    sp.add_argument("--trace", metavar="PATH", default=None,
+                    help="render a saved Chrome-trace JSON instead of running anything")
+    sp.add_argument("--format", dest="fmt", default="md", choices=["md", "html"],
+                    help="output format (default: md)")
+    sp.add_argument("--out", default=None,
+                    help="write the report to PATH instead of stdout")
+    sp.add_argument("--title", default=None, help="report title")
+
+    sp = sub.add_parser(
+        "metrics",
+        help="OpenMetrics exposition of a recorded run (optionally served)",
+    )
+    sp.add_argument("graph", nargs="?", default="ci-ws",
+                    help="dataset name (default: ci-ws; see `suite`)")
+    sp.add_argument("--stepper", default="delta",
+                    help="stepper spec to record (default: delta)")
+    sp.add_argument("--weights", default="unit")
+    sp.add_argument("--queries", type=int, default=8,
+                    help="also serve N point queries through a recorded QueryService "
+                         "(0 disables; default: 8)")
+    sp.add_argument("--out", default=None,
+                    help="write the exposition to PATH instead of stdout")
+    sp.add_argument("--serve", metavar="SECONDS", type=float, default=None,
+                    help="keep a /metrics scrape endpoint up for SECONDS after the run")
+    sp.add_argument("--port", type=int, default=0,
+                    help="scrape-endpoint port for --serve (default: 0 = ephemeral)")
+
+    sp = sub.add_parser(
+        "bench-diff",
+        help="diff fresh BENCH_*.json against committed baselines (regression gate)",
+    )
+    sp.add_argument("names", nargs="*", metavar="NAME",
+                    help="experiments to diff, e.g. KERNEL SHARD (default: every "
+                         "BENCH_*.json present in both directories)")
+    sp.add_argument("--baseline", default=".",
+                    help="directory holding the committed baselines (default: .)")
+    sp.add_argument("--fresh", default=None,
+                    help="directory holding the fresh run's JSON "
+                         "(default: $REPRO_BENCH_DIR, else .)")
+    sp.add_argument("--history", default=None,
+                    help="BENCH_HISTORY.jsonl path for noise-aware thresholds "
+                         "(default: resolved next to the fresh files)")
+    sp.add_argument("--no-history", action="store_true",
+                    help="disable noise widening from the history ledger")
+    sp.add_argument("--record", action="store_true",
+                    help="append the fresh payloads to the history ledger after diffing")
+    sp.add_argument("--time-tolerance", type=float, default=0.5,
+                    help="relative tolerance for wall-clock metrics (default: 0.5)")
+    sp.add_argument("--ratio-tolerance", type=float, default=0.25,
+                    help="relative tolerance for ratio/volume metrics (default: 0.25)")
+    sp.add_argument("--absolute", default="auto", choices=["auto", "always", "never"],
+                    help="gate wall-clock metrics: auto = only when baseline and fresh "
+                         "are certified same-host (default)")
+    sp.add_argument("--verbose", action="store_true",
+                    help="show every compared metric, not just regressions")
 
     sp = sub.add_parser("serve-bench", help="run the SERVE throughput experiment")
     sp.add_argument("--suite", default="ci", choices=["ci", "paper"], help="graph suite (default: ci)")
@@ -370,6 +449,140 @@ def _trace_overhead_smoke() -> int:
     return 0
 
 
+def _recorded_run(graph: str, stepper: str, weights: str, queries: int, out):
+    """Solve + optionally serve queries with a live Recorder (the shared
+    setup behind ``report`` and ``metrics``); run info goes to *out*."""
+    from .bench.workloads import workload_for
+    from .obs import Recorder
+    from .stepping import solve_with
+
+    wl = workload_for(graph, weights=weights)
+    rec = Recorder()
+    result = solve_with(stepper, wl.graph, wl.source, recorder=rec)
+    print(f"solved {wl.name} with {stepper}: "
+          f"{result.phases} phases, {result.relaxations} relaxations", file=out)
+    if queries > 0:
+        from .service import QueryService
+
+        svc = QueryService(wl.graph, weight_mode=weights, recorder=rec)
+        n = wl.graph.num_vertices
+        for i in range(queries):
+            # every source is asked twice, so the second round hits the cache
+            svc.query((wl.source + i // 2) % n)
+        stats = svc.stats()
+        print(f"served {stats.queries_served} queries, "
+              f"cache hit rate {stats.cache.hit_rate:.0%}", file=out)
+    return wl, rec
+
+
+def _cmd_report(args) -> int:
+    from .obs import build_report, render_html, render_markdown
+
+    # run info must not interleave with a report printed to stdout
+    info = sys.stdout if args.out else sys.stderr
+    if args.trace:
+        title = args.title or f"repro run report — {args.trace}"
+        report = build_report(args.trace, title=title)
+    else:
+        wl, rec = _recorded_run(
+            args.graph, args.stepper, args.weights, args.queries, info
+        )
+        title = args.title or f"repro run report — {wl.name} · {args.stepper}"
+        report = build_report(rec, title=title)
+    doc = render_html(report) if args.fmt == "html" else render_markdown(report)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(doc)
+        print(f"wrote {args.out} ({report.span_count} spans, "
+              f"{len(report.sections)} sections)", file=info)
+    else:
+        print(doc, end="")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from .obs import render_openmetrics
+
+    info = sys.stdout if (args.out or args.serve) else sys.stderr
+    _wl, rec = _recorded_run(
+        args.graph, args.stepper, args.weights, args.queries, info
+    )
+    text = render_openmetrics(rec)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.out} ({len(text.splitlines())} lines)", file=info)
+    elif not args.serve:
+        print(text, end="")
+    if args.serve is not None:
+        import time as _time
+
+        from .obs import MetricsServer
+
+        with MetricsServer(rec, port=args.port) as srv:
+            print(f"scrape endpoint up at {srv.url} for {args.serve:g} s", file=info)
+            _time.sleep(max(args.serve, 0.0))
+    return 0
+
+
+def _cmd_bench_diff(args) -> int:
+    from pathlib import Path
+
+    from .bench.history import (
+        BenchHistory,
+        diff_payloads,
+        history_path,
+        load_bench_json,
+        render_diff,
+    )
+
+    baseline_dir = Path(args.baseline)
+    fresh_dir = Path(args.fresh) if args.fresh else Path(
+        os.environ.get("REPRO_BENCH_DIR", ".")
+    )
+    if args.names:
+        names = [n.upper() for n in args.names]
+    else:
+        # every experiment present on both sides
+        names = sorted(
+            p.stem.removeprefix("BENCH_")
+            for p in baseline_dir.glob("BENCH_*.json")
+            if (fresh_dir / p.name).exists()
+        )
+        if not names:
+            print(f"bench-diff: no BENCH_*.json present in both {baseline_dir} "
+                  f"and {fresh_dir}", file=sys.stderr)
+            return 2
+
+    history = None
+    if not args.no_history:
+        hp = history_path(args.history) if args.history else fresh_dir / "BENCH_HISTORY.jsonl"
+        if args.history or hp.exists() or args.record:
+            history = BenchHistory(hp)
+
+    failed = False
+    for name in names:
+        filename = f"BENCH_{name}.json"
+        try:
+            baseline = load_bench_json(baseline_dir / filename)
+            fresh = load_bench_json(fresh_dir / filename)
+        except (OSError, ValueError) as exc:
+            print(f"bench-diff: {exc}", file=sys.stderr)
+            return 2
+        result = diff_payloads(
+            baseline, fresh, history=history,
+            time_tolerance=args.time_tolerance,
+            ratio_tolerance=args.ratio_tolerance,
+            absolute=args.absolute,
+        )
+        print(render_diff(result, verbose=args.verbose))
+        if args.record and history is not None:
+            history.append(fresh)
+            print(f"  recorded to {history.path}")
+        failed = failed or not result.ok
+    return 1 if failed else 0
+
+
 def _cmd_serve_bench(args) -> int:
     from .bench.registry import render_experiment, run_experiment_rows, write_bench_json
 
@@ -563,6 +776,9 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "query": _cmd_query,
         "trace": _cmd_trace,
+        "report": _cmd_report,
+        "metrics": _cmd_metrics,
+        "bench-diff": _cmd_bench_diff,
         "serve-bench": _cmd_serve_bench,
         "mutate-bench": _cmd_mutate_bench,
         "step-bench": _cmd_step_bench,

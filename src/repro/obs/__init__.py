@@ -28,6 +28,17 @@ the exchange, bench-only JSON):
                                        now bridging into the recorder;
                                        ``repro.sssp.instrument`` is a
                                        thin alias of this module
+:mod:`~repro.obs.report`               :func:`build_report` /
+                                       :func:`render_markdown` /
+                                       :func:`render_html` — a recorded
+                                       run (or saved trace JSON) as one
+                                       self-contained run report
+                                       (``repro report``)
+:mod:`~repro.obs.export`               :func:`render_openmetrics` /
+                                       :class:`MetricsServer` — the
+                                       registry as OpenMetrics text and
+                                       a scrape endpoint
+                                       (``repro metrics``)
 =====================================  ====================================
 
 The package sits below every solver layer (stdlib only — it imports
@@ -38,6 +49,12 @@ the KERNEL bench smoke (``repro trace --overhead-smoke``).
 
 from __future__ import annotations
 
+from .export import (
+    OPENMETRICS_CONTENT_TYPE,
+    MetricsServer,
+    render_openmetrics,
+    sanitize_metric_name,
+)
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS_MS,
     Counter,
@@ -46,6 +63,13 @@ from .metrics import (
     MetricsRegistry,
 )
 from .recorder import NO_RECORDER, NullRecorder, Recorder
+from .report import (
+    RunReport,
+    build_report,
+    load_trace,
+    render_html,
+    render_markdown,
+)
 from .stage import NO_TIMER, NullTimer, StageTimer
 from .trace import NO_TRACE, NullTrace, Span, TraceRecorder
 
@@ -65,4 +89,13 @@ __all__ = [
     "StageTimer",
     "NullTimer",
     "NO_TIMER",
+    "RunReport",
+    "build_report",
+    "load_trace",
+    "render_markdown",
+    "render_html",
+    "render_openmetrics",
+    "sanitize_metric_name",
+    "MetricsServer",
+    "OPENMETRICS_CONTENT_TYPE",
 ]

@@ -1,0 +1,194 @@
+"""OpenMetrics text exposition of a :class:`MetricsRegistry` snapshot.
+
+The metrics half of :mod:`repro.obs` aggregates in process; this module
+is how those aggregates leave the process in the format every scraping
+stack (Prometheus, OpenTelemetry collectors, Grafana agent) ingests —
+the `OpenMetrics text format
+<https://github.com/OpenObservability/OpenMetrics>`_:
+
+- :class:`~repro.obs.metrics.Counter` → a ``counter`` family with one
+  ``_total`` sample;
+- :class:`~repro.obs.metrics.Gauge` → a ``gauge`` family;
+- :class:`~repro.obs.metrics.Histogram` → a ``histogram`` family with
+  cumulative ``_bucket{le="..."}`` samples (the raw per-bucket counts,
+  not the collapsed p50/p90/p99 summaries), ``_count``, and ``_sum`` —
+  so the scraper's own quantile math sees exactly what the in-process
+  interpolation saw.
+
+Metric names are sanitized (``service.query_ms`` →
+``repro_service_query_ms``) and the exposition ends with the mandatory
+``# EOF`` terminator, so the output validates as OpenMetrics 1.0.
+
+:class:`MetricsServer` is the matching scrape endpoint: a daemon-thread
+HTTP server over a live registry, so a long-lived
+``QueryService(recorder=...)`` can be scraped while it serves —
+``repro metrics`` wires both onto the CLI.
+
+Like the rest of :mod:`repro.obs` this module is stdlib-only and part
+of the ``mypy --strict`` typing gate.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from math import isinf, isnan
+from typing import Union
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .recorder import Recorder
+
+__all__ = [
+    "OPENMETRICS_CONTENT_TYPE",
+    "sanitize_metric_name",
+    "render_openmetrics",
+    "MetricsServer",
+]
+
+#: the Content-Type an OpenMetrics scrape response must carry
+OPENMETRICS_CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+#: the sources :func:`render_openmetrics` accepts — a registry, or the
+#: recorder facade wrapping one
+MetricsSource = Union[MetricsRegistry, Recorder]
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Coerce *name* into the OpenMetrics name charset.
+
+    Dots (the repo's metric-name separator) and every other character
+    outside ``[a-zA-Z0-9_:]`` become underscores; a leading digit gains
+    an underscore prefix.
+    """
+    cleaned = _INVALID_CHARS.sub("_", name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _fmt(value: float) -> str:
+    """A float as OpenMetrics text: integers bare, specials spelled out."""
+    if isnan(value):
+        return "NaN"
+    if isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _registry_of(metrics: MetricsSource) -> MetricsRegistry:
+    if isinstance(metrics, Recorder):
+        return metrics.metrics
+    return metrics
+
+
+def render_openmetrics(metrics: MetricsSource, prefix: str = "repro") -> str:
+    """The full registry as OpenMetrics text (ending in ``# EOF``).
+
+    *metrics* is a :class:`MetricsRegistry` or a :class:`Recorder`
+    (whose registry half is used).  *prefix* namespaces every family
+    (pass ``""`` for none).
+    """
+    lines: list[str] = []
+    for kind, name, inst in _registry_of(metrics).items():
+        family = sanitize_metric_name(f"{prefix}_{name}" if prefix else name)
+        if isinstance(inst, Counter):
+            lines.append(f"# TYPE {family} counter")
+            lines.append(f"{family}_total {_fmt(inst.value)}")
+        elif isinstance(inst, Gauge):
+            lines.append(f"# TYPE {family} gauge")
+            lines.append(f"{family} {_fmt(inst.value)}")
+        elif isinstance(inst, Histogram):
+            lines.append(f"# TYPE {family} histogram")
+            cumulative = 0
+            for bound, count in zip(inst.bounds, inst.counts):
+                cumulative += count
+                lines.append(
+                    f'{family}_bucket{{le="{_fmt(bound)}"}} {cumulative}'
+                )
+            lines.append(f'{family}_bucket{{le="+Inf"}} {inst.count}')
+            lines.append(f"{family}_count {inst.count}")
+            lines.append(f"{family}_sum {_fmt(inst.total)}")
+        else:  # pragma: no cover - items() yields exactly the three kinds
+            raise TypeError(f"unknown instrument kind {kind!r} for {name!r}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+class MetricsServer:
+    """A daemon-thread ``/metrics`` scrape endpoint over a live registry.
+
+    The handler renders the registry fresh on every GET, so a scrape
+    always sees current values — hand it the same registry (or
+    :class:`Recorder`) the serving tier writes into and it behaves like
+    any other Prometheus target::
+
+        rec = Recorder()
+        svc = QueryService(g, recorder=rec)
+        with MetricsServer(rec) as srv:
+            print(srv.url)          # http://127.0.0.1:<port>/metrics
+            ...                     # scrape while svc serves
+
+    ``port=0`` (the default) binds an ephemeral port; :attr:`port` and
+    :attr:`url` report what was bound.  ``close()`` (or the context
+    exit) shuts the server down and joins its thread.
+    """
+
+    def __init__(
+        self,
+        metrics: MetricsSource,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        path: str = "/metrics",
+        prefix: str = "repro",
+    ) -> None:
+        registry = _registry_of(metrics)
+        endpoint = path
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:
+                if self.path.partition("?")[0] not in (endpoint, "/"):
+                    self.send_error(404, "scrape endpoint is %s" % endpoint)
+                    return
+                body = render_openmetrics(registry, prefix=prefix).encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", OPENMETRICS_CONTENT_TYPE)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, format: str, *args: object) -> None:
+                pass  # a scrape target must not spam the serving tier's stderr
+
+        self.path = endpoint
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self.host = str(self._httpd.server_address[0])
+        self.port = int(self._httpd.server_address[1])
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-metrics", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}{self.path}"
+
+    def close(self) -> None:
+        """Stop serving and join the server thread."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MetricsServer<{self.url}>"

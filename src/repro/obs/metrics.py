@@ -17,14 +17,22 @@ and the registry is get-or-create keyed by name, so call sites never
 pre-declare.  ``snapshot``/``as_dict`` render everything to plain dicts
 for the CLI summary table and the bench JSON; ``reset`` zeroes in place
 (instrument handles stay valid).
+
+Empty-distribution sentinel: a :class:`Histogram` with zero
+observations reports ``NaN`` from :meth:`Histogram.percentile`,
+:attr:`Histogram.mean`, and every value field of
+:meth:`Histogram.summary` except ``count``/``sum`` — "no data" must not
+be confusable with a real 0 ms latency.  ``count`` stays 0 and ``sum``
+0.0 (they are exact), matching what an OpenMetrics scrape of the empty
+histogram exposes.
 """
 
 from __future__ import annotations
 
 import threading
 from bisect import bisect_left
-from math import ceil, inf
-from typing import Any, Iterable
+from math import ceil, inf, nan
+from typing import Any, Iterable, Iterator
 
 __all__ = [
     "Counter",
@@ -85,9 +93,10 @@ class Histogram:
     *buckets* are ascending upper bounds; observations above the last
     bound land in an overflow bucket.  Exact ``min``/``max``/``sum`` are
     tracked alongside, and percentile interpolation clamps into
-    ``[min, max]`` — so an empty histogram reports 0, a single sample
-    reports itself at every percentile, and all-same-bucket data never
-    reports a value outside what was actually observed.
+    ``[min, max]`` — so an empty histogram reports the documented ``NaN``
+    sentinel (no data is not a 0 ms latency), a single sample reports
+    itself at every percentile, and all-same-bucket data never reports a
+    value outside what was actually observed.
     """
 
     __slots__ = ("bounds", "counts", "count", "total", "min", "max")
@@ -122,11 +131,12 @@ class Histogram:
             self.max = value
 
     def percentile(self, q: float) -> float:
-        """The interpolated *q*-th percentile (0 on an empty histogram)."""
+        """The interpolated *q*-th percentile (``NaN`` on an empty
+        histogram — the documented no-observations sentinel)."""
         if not 0 <= q <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
         if self.count == 0:
-            return 0.0
+            return nan
         target = max(1, ceil(q / 100.0 * self.count))
         cum = 0
         for idx, c in enumerate(self.counts):
@@ -143,15 +153,19 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        return self.total / self.count if self.count else nan
 
     def summary(self) -> dict[str, float]:
-        """count/sum/min/max/mean plus the p50/p90/p99 trio."""
+        """count/sum/min/max/mean plus the p50/p90/p99 trio.
+
+        With zero observations every value field is the ``NaN`` sentinel
+        (``count`` 0 and ``sum`` 0.0 stay exact).
+        """
         return {
             "count": self.count,
             "sum": self.total,
-            "min": self.min if self.count else 0.0,
-            "max": self.max if self.count else 0.0,
+            "min": self.min if self.count else nan,
+            "max": self.max if self.count else nan,
             "mean": self.mean,
             "p50": self.percentile(50),
             "p90": self.percentile(90),
@@ -232,6 +246,21 @@ class MetricsRegistry:
         self.histogram(name).observe(value)
 
     # -- reporting -----------------------------------------------------------
+
+    def items(self) -> Iterator[tuple[str, str, "Counter | Gauge | Histogram"]]:
+        """Every instrument as ``(kind, name, instrument)``, sorted by
+        name within each kind (counters, then gauges, then histograms).
+
+        This is the exposition surface: :mod:`repro.obs.export` walks it
+        to emit OpenMetrics text with the raw bucket counts the
+        ``snapshot`` summaries deliberately collapse.
+        """
+        for name, c in sorted(self._counters.items()):
+            yield "counter", name, c
+        for name, g in sorted(self._gauges.items()):
+            yield "gauge", name, g
+        for name, h in sorted(self._histograms.items()):
+            yield "histogram", name, h
 
     def snapshot(self) -> dict[str, Any]:
         """Everything, as plain dicts: ``{"counters": {...}, "gauges":

@@ -1,0 +1,286 @@
+"""Bench history + the bench-diff regression gate."""
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.history import (
+    BenchHistory,
+    diff_bench,
+    diff_payloads,
+    history_path,
+    load_bench_json,
+    metric_direction,
+    metric_scope,
+    provenance,
+    render_diff,
+    row_key,
+)
+from repro.bench.registry import write_bench_json
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _payload(**overrides):
+    base = {
+        "experiment": "KERNEL",
+        "schema": 2,
+        "written_at": "2026-08-08T00:00:00+0000",
+        "provenance": {"host": "host-a", "git_sha": "abc123", "cpu_count": 4},
+        "headline": {"passed": True, "best_speedup": 2.0},
+        "rows": [
+            {"graph": "g1", "family": "mesh", "nodes": 100, "edges": 400,
+             "variant": "scatter", "ms": 10.0, "speedup": 2.0, "phases": 5,
+             "relax_per_ms": 100.0, "verified": "ok"},
+            {"graph": "g1", "family": "mesh", "nodes": 100, "edges": 400,
+             "variant": "seed", "ms": 20.0, "speedup": 1.0, "phases": 5,
+             "relax_per_ms": 50.0, "verified": "ok"},
+        ],
+    }
+    base.update(overrides)
+    return base
+
+
+class TestProvenance:
+    def test_fields_present(self):
+        p = provenance()
+        assert {"git_sha", "host", "cpu_count", "python", "numpy", "platform"} <= set(p)
+        assert p["host"] and p["python"]
+
+    def test_write_bench_json_embeds_schema_2(self, tmp_path):
+        path = write_bench_json("kernel", [{"graph": "g", "ms": 1.0}],
+                                directory=tmp_path)
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == 2
+        assert payload["provenance"]["host"] == provenance()["host"]
+
+
+class TestClassification:
+    @pytest.mark.parametrize("name,want", [
+        ("ms", "lower"), ("repair_ms", "lower"), ("loop_ms", "lower"),
+        ("vs_best", "lower"), ("kb", "lower"),
+        ("speedup", "higher"), ("loop_qps", "higher"),
+        ("relax_per_ms", "higher"), ("hit_rate", "higher"),
+        ("nodes", "info"), ("edges", "info"), ("phases", "info"),
+        ("cut_frac", "info"), ("entries", "info"),
+    ])
+    def test_direction(self, name, want):
+        assert metric_direction(name) == want
+
+    def test_scope_wall_clock_vs_portable(self):
+        assert metric_scope("ms") == "host"
+        assert metric_scope("loop_qps") == "host"
+        assert metric_scope("relax_per_ms") == "host"
+        assert metric_scope("speedup") == "portable"
+        assert metric_scope("vs_best") == "host"  # a race between timings
+        assert metric_scope("kb") == "portable"
+
+    def test_row_key_uses_config_fields_only(self):
+        row = {"graph": "g1", "variant": "scatter", "ms": 3.0,
+               "shards": 4, "verified": "ok"}
+        key = row_key(row)
+        assert key == "graph=g1/shards=4/variant=scatter"
+
+
+class TestLoadBenchJson:
+    def test_accepts_schema_1_and_2(self, tmp_path):
+        for schema in (1, 2):
+            p = tmp_path / f"BENCH_S{schema}.json"
+            p.write_text(json.dumps(_payload(schema=schema)))
+            assert load_bench_json(p)["schema"] == schema
+
+    def test_rejects_unknown_schema(self, tmp_path):
+        p = tmp_path / "BENCH_X.json"
+        p.write_text(json.dumps(_payload(schema=99)))
+        with pytest.raises(ValueError, match="unknown bench schema"):
+            load_bench_json(p)
+
+    def test_rejects_non_payload(self, tmp_path):
+        p = tmp_path / "BENCH_Y.json"
+        p.write_text(json.dumps({"whatever": 1}))
+        with pytest.raises(ValueError, match="no 'rows'"):
+            load_bench_json(p)
+
+
+class TestDiff:
+    def test_identical_payloads_pass(self):
+        result = diff_payloads(_payload(), _payload())
+        assert result.ok
+        assert not result.notes  # same host: wall clock fully gated
+
+    def test_2x_slowdown_is_a_regression(self):
+        slow = _payload()
+        for row in slow["rows"]:
+            row["ms"] *= 2.0
+        result = diff_payloads(_payload(), slow)
+        assert not result.ok
+        assert {f.metric for f in result.regressions} == {"ms"}
+        assert all(f.change == pytest.approx(1.0) for f in result.regressions)
+
+    def test_speedup_drop_is_a_regression_even_cross_host(self):
+        slow = _payload(provenance={"host": "host-b"})
+        for row in slow["rows"]:
+            row["speedup"] /= 2.0
+        result = diff_payloads(_payload(), slow)
+        assert not result.ok
+        assert {f.metric for f in result.regressions} == {"speedup"}
+
+    def test_cross_host_wall_clock_not_gated(self):
+        slow = _payload(provenance={"host": "host-b"})
+        for row in slow["rows"]:
+            row["ms"] *= 2.0
+        result = diff_payloads(_payload(), slow)
+        assert result.ok
+        assert any("not certified same-host" in n for n in result.notes)
+
+    def test_absolute_always_overrides_cross_host(self):
+        slow = _payload(provenance={"host": "host-b"})
+        for row in slow["rows"]:
+            row["ms"] *= 2.0
+        assert not diff_payloads(_payload(), slow, absolute="always").ok
+
+    def test_absolute_never_demotes_everything_wall_clock(self):
+        slow = _payload()
+        for row in slow["rows"]:
+            row["ms"] *= 2.0
+        assert diff_payloads(_payload(), slow, absolute="never").ok
+
+    def test_schema_1_baseline_still_diffs(self):
+        base = _payload(schema=1)
+        del base["provenance"]
+        slow = _payload()
+        for row in slow["rows"]:
+            row["speedup"] /= 2.0
+        result = diff_payloads(base, slow)
+        assert not result.ok  # ratios gate without provenance
+
+    def test_verified_flip_regresses_with_no_tolerance(self):
+        bad = _payload()
+        bad["rows"][0]["verified"] = "MISMATCH"
+        result = diff_payloads(_payload(), bad)
+        assert any(f.metric == "verified" and f.status == "regression"
+                   for f in result.findings)
+
+    def test_headline_boolean_flip_regresses(self):
+        bad = _payload()
+        bad["headline"]["passed"] = False
+        result = diff_payloads(_payload(), bad)
+        assert any(f.key == "<headline>" and f.status == "regression"
+                   for f in result.findings)
+
+    def test_improvement_is_not_a_regression(self):
+        fast = _payload()
+        for row in fast["rows"]:
+            row["ms"] /= 4.0
+        result = diff_payloads(_payload(), fast)
+        assert result.ok
+        assert any(f.status == "improved" for f in result.findings)
+
+    def test_missing_row_is_skipped_not_failed(self):
+        fewer = _payload()
+        fewer["rows"] = fewer["rows"][:1]
+        result = diff_payloads(_payload(), fewer)
+        assert result.ok
+        assert any(f.status == "skipped" and "missing from fresh" in f.note
+                   for f in result.findings)
+
+    def test_sub_floor_times_are_skipped(self):
+        tiny = _payload()
+        for p in (tiny,):
+            for row in p["rows"]:
+                row["ms"] = 0.001
+        jittery = copy.deepcopy(tiny)
+        for row in jittery["rows"]:
+            row["ms"] = 0.004  # 4x, but under the 0.05 ms floor
+        result = diff_payloads(tiny, jittery)
+        assert result.ok
+        assert any("timer floor" in f.note for f in result.findings)
+
+    def test_render_diff_marks_fail(self):
+        slow = _payload()
+        for row in slow["rows"]:
+            row["ms"] *= 2.0
+        text = render_diff(diff_payloads(_payload(), slow))
+        assert "REGRESSION" in text and "== FAIL" in text
+        ok_text = render_diff(diff_payloads(_payload(), _payload()))
+        assert "== PASS" in ok_text
+
+
+class TestHistory:
+    def test_append_and_reload(self, tmp_path):
+        h = BenchHistory(tmp_path / "BENCH_HISTORY.jsonl")
+        h.append(_payload())
+        h.append(_payload())
+        assert len(h) == 2
+        (entry, _) = h.entries("kernel")
+        assert entry["experiment"] == "KERNEL"
+        assert entry["provenance"]["host"] == "host-a"
+        # metrics are flattened per row key
+        key = row_key(_payload()["rows"][0])
+        assert entry["metrics"][key]["ms"] == 10.0
+
+    def test_corrupt_lines_skipped(self, tmp_path):
+        path = tmp_path / "BENCH_HISTORY.jsonl"
+        h = BenchHistory(path)
+        h.append(_payload())
+        with open(path, "a") as fh:
+            fh.write("{torn wri")  # torn write mid-line
+        h.append(_payload())
+        assert len(h.entries()) == 2
+
+    def test_series_filters_by_host(self, tmp_path):
+        h = BenchHistory(tmp_path / "h.jsonl")
+        for host, ms in (("host-a", 10.0), ("host-b", 99.0), ("host-a", 12.0)):
+            p = _payload(provenance={"host": host})
+            p["rows"][0]["ms"] = ms
+            h.append(p)
+        key = row_key(_payload()["rows"][0])
+        assert h.series("KERNEL", key, "ms", host="host-a") == [10.0, 12.0]
+        assert h.series("KERNEL", key, "ms") == [10.0, 99.0, 12.0]
+
+    def test_noisy_history_widens_the_gate(self, tmp_path):
+        h = BenchHistory(tmp_path / "h.jsonl")
+        for ms in (8.0, 12.0, 16.0):  # cv ~27% -> tolerance ~82%
+            p = _payload()
+            p["rows"][0]["ms"] = ms
+            h.append(p)
+        jitter = _payload()
+        jitter["rows"][0]["ms"] = 16.5  # +65%: over the 50% base gate
+        assert not diff_payloads(_payload(), jitter).ok
+        widened = diff_payloads(_payload(), jitter, history=h)
+        assert widened.ok
+        assert any("widened" in f.note for f in widened.findings)
+
+    def test_history_path_resolution(self, tmp_path, monkeypatch):
+        assert history_path("/x/y.jsonl") == Path("/x/y.jsonl")
+        monkeypatch.setenv("REPRO_BENCH_HISTORY", str(tmp_path / "env.jsonl"))
+        assert history_path() == tmp_path / "env.jsonl"
+        monkeypatch.delenv("REPRO_BENCH_HISTORY")
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+        assert history_path() == tmp_path / "BENCH_HISTORY.jsonl"
+
+
+class TestAgainstCommittedBaseline:
+    """The acceptance criterion, against the real committed BENCH_KERNEL.json."""
+
+    def test_clean_rerun_passes(self, tmp_path):
+        committed = REPO_ROOT / "BENCH_KERNEL.json"
+        fresh = tmp_path / "BENCH_KERNEL.json"
+        fresh.write_text(committed.read_text())
+        result = diff_bench("KERNEL", baseline_dir=REPO_ROOT, fresh_dir=tmp_path)
+        assert result.ok, render_diff(result, verbose=True)
+
+    def test_injected_2x_slowdown_fails(self, tmp_path):
+        payload = load_bench_json(REPO_ROOT / "BENCH_KERNEL.json")
+        for row in payload["rows"]:
+            row["ms"] = row["ms"] * 2.0
+            row["relax_per_ms"] = row["relax_per_ms"] / 2.0
+            row["speedup"] = row["speedup"] / 2.0
+        (tmp_path / "BENCH_KERNEL.json").write_text(json.dumps(payload))
+        result = diff_bench("KERNEL", baseline_dir=REPO_ROOT, fresh_dir=tmp_path)
+        assert not result.ok
+        # the slowdown shows up as a speedup-ratio regression on every
+        # non-seed variant regardless of which host runs the suite
+        assert any(f.metric == "speedup" for f in result.regressions)

@@ -30,15 +30,31 @@ class TestInstruments:
 
 
 class TestHistogramPercentiles:
-    def test_empty_histogram_reports_zero(self):
+    def test_empty_histogram_reports_nan_sentinel(self):
+        # no observations must not look like a real 0 ms latency: every
+        # value field is NaN; count/sum stay exact
+        import math
+
         h = Histogram()
         assert h.count == 0
-        assert h.percentile(50) == 0.0
+        assert math.isnan(h.percentile(50))
+        assert math.isnan(h.percentile(0))
+        assert math.isnan(h.percentile(100))
+        assert math.isnan(h.mean)
         s = h.summary()
-        assert s == {
-            "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
-            "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0,
-        }
+        assert s["count"] == 0
+        assert s["sum"] == 0.0
+        for key in ("min", "max", "mean", "p50", "p90", "p99"):
+            assert math.isnan(s[key]), key
+
+    def test_empty_histogram_sentinel_clears_after_observe_and_reset(self):
+        import math
+
+        h = Histogram()
+        h.observe(2.0)
+        assert h.percentile(50) == 2.0 and h.mean == 2.0
+        h.reset()
+        assert math.isnan(h.percentile(50)) and math.isnan(h.summary()["max"])
 
     def test_single_sample_is_every_percentile(self):
         h = Histogram()
@@ -78,10 +94,12 @@ class TestHistogramPercentiles:
         assert h.mean == pytest.approx(14.0 / 3)
 
     def test_reset_zeroes_in_place(self):
+        import math
+
         h = Histogram()
         h.observe(1.0)
         h.reset()
-        assert h.count == 0 and h.percentile(50) == 0.0
+        assert h.count == 0 and math.isnan(h.percentile(50))
 
     def test_invalid_buckets_rejected(self):
         with pytest.raises(ValueError):
@@ -139,6 +157,20 @@ class TestRegistry:
         assert c.value == 0 and h.count == 0
         c.inc()
         assert reg.snapshot()["counters"]["n"] == 1
+
+    def test_items_yields_kind_name_instrument_sorted(self):
+        reg = MetricsRegistry()
+        reg.inc("z.count")
+        reg.inc("a.count")
+        reg.set_gauge("size", 3.0)
+        reg.observe("lat", 1.0)
+        items = list(reg.items())
+        assert [(k, n) for k, n, _ in items] == [
+            ("counter", "a.count"), ("counter", "z.count"),
+            ("gauge", "size"), ("histogram", "lat"),
+        ]
+        # the instruments are the live handles, not copies
+        assert items[0][2] is reg.counter("a.count")
 
     def test_empty_registry_is_falsy_by_len(self):
         # relied on nowhere in the tree (binding uses `is not None`), but

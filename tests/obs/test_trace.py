@@ -127,6 +127,44 @@ class TestChromeExport:
         doc = json.loads(path.read_text())
         assert any(e["ph"] == "X" for e in doc["traceEvents"])
 
+    def test_empty_trace_exports_cleanly(self, tmp_path):
+        # zero events: still a valid document (metadata only) that
+        # round-trips through disk
+        tr = TraceRecorder()
+        doc = tr.to_chrome()
+        assert [e["ph"] for e in doc["traceEvents"]] == ["M"]
+        path = tmp_path / "empty.json"
+        tr.write(path)
+        assert json.loads(path.read_text()) == doc
+
+    def test_write_with_unclosed_span_omits_it(self, tmp_path):
+        # a span records on __exit__; writing mid-span must not emit a
+        # half-open event (and must not corrupt the document)
+        tr = TraceRecorder()
+        with tr.span("outer"):
+            with tr.span("closed"):
+                pass
+            path = tmp_path / "mid.json"
+            tr.write(path)
+            doc = json.loads(path.read_text())
+            names = [e["name"] for e in doc["traceEvents"] if e["ph"] == "X"]
+            assert names == ["closed"]  # "outer" is still open
+        # after the block closes, a re-export includes it
+        names = [e["name"] for e in tr.to_chrome()["traceEvents"] if e["ph"] == "X"]
+        assert sorted(names) == ["closed", "outer"]
+
+    def test_numpy_bool_and_scalar_args_round_trip(self):
+        tr = TraceRecorder()
+        with tr.span(
+            "np2", ok=np.bool_(True), nope=np.bool_(False),
+            n32=np.int32(-3), f32=np.float32(0.25),
+        ):
+            pass
+        args = json.loads(json.dumps(tr.to_chrome()))["traceEvents"][1]["args"]
+        assert args["ok"] is True and args["nope"] is False
+        assert args["n32"] == -3
+        assert args["f32"] == 0.25
+
     def test_timestamps_are_relative_and_ordered(self):
         tr = TraceRecorder()
         with tr.span("first"):

@@ -252,3 +252,95 @@ class TestCommands:
         )
         assert main(["profile", "--suite", "ci"]) == 0
         assert "35-40%" in capsys.readouterr().out
+
+
+class TestObservabilityCommands:
+    def test_report_parser_defaults(self):
+        args = build_parser().parse_args(["report"])
+        assert args.graph == "ci-ws"
+        assert args.stepper == "sharded(shards=4,partitioner=bfs)"
+        assert args.fmt == "md"
+
+    def test_bench_diff_parser_defaults(self):
+        args = build_parser().parse_args(["bench-diff", "KERNEL", "SHARD"])
+        assert args.names == ["KERNEL", "SHARD"]
+        assert args.baseline == "."
+        assert args.absolute == "auto"
+        assert args.time_tolerance == 0.5
+
+    def test_metrics_parser_defaults(self):
+        args = build_parser().parse_args(["metrics"])
+        assert args.graph == "ci-ws"
+        assert args.stepper == "delta"
+        assert args.serve is None
+
+    def test_report_sharded_run_prints_exchange_ledger(self, capsys):
+        assert main(["report", "ci-ws",
+                     "--stepper", "sharded(shards=2,partitioner=bfs)",
+                     "--queries", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "## Exchange ledger (per superstep)" in out
+        assert "## Time attribution" in out
+
+    def test_report_html_to_file(self, capsys, tmp_path):
+        out_path = tmp_path / "report.html"
+        assert main(["report", "ci-ws", "--stepper", "delta", "--queries", "2",
+                     "--format", "html", "--out", str(out_path)]) == 0
+        doc = out_path.read_text()
+        assert doc.startswith("<!DOCTYPE html>")
+        assert "wrote" in capsys.readouterr().out
+
+    def test_report_from_saved_trace(self, capsys, tmp_path):
+        trace = tmp_path / "t.json"
+        assert main(["trace", "ci-ws", "--queries", "0",
+                     "--out", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["report", "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "## Overview" in out and "## Bucket occupancy" in out
+
+    def test_metrics_command_emits_openmetrics(self, capsys):
+        assert main(["metrics", "ci-ws", "--queries", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.rstrip().endswith("# EOF")
+        assert "repro_service_queries_total 2" in out
+
+    def test_bench_diff_clean_pass_and_injected_regression(self, capsys, tmp_path):
+        import json
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[1]
+        committed = root / "BENCH_KERNEL.json"
+        fresh = tmp_path / "BENCH_KERNEL.json"
+        fresh.write_text(committed.read_text())
+        assert main(["bench-diff", "KERNEL", "--baseline", str(root),
+                     "--fresh", str(tmp_path), "--no-history"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+        payload = json.loads(committed.read_text())
+        for row in payload["rows"]:
+            row["ms"] *= 2.0
+            row["speedup"] /= 2.0
+            row["relax_per_ms"] /= 2.0
+        fresh.write_text(json.dumps(payload))
+        assert main(["bench-diff", "KERNEL", "--baseline", str(root),
+                     "--fresh", str(tmp_path), "--no-history"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_bench_diff_missing_file_exits_2(self, capsys, tmp_path):
+        assert main(["bench-diff", "NOPE", "--baseline", str(tmp_path),
+                     "--fresh", str(tmp_path)]) == 2
+
+    def test_bench_diff_record_appends_history(self, capsys, tmp_path):
+        import json
+        from pathlib import Path
+
+        from repro.bench.history import BenchHistory
+
+        root = Path(__file__).resolve().parents[1]
+        fresh = tmp_path / "BENCH_KERNEL.json"
+        fresh.write_text((root / "BENCH_KERNEL.json").read_text())
+        assert main(["bench-diff", "KERNEL", "--baseline", str(root),
+                     "--fresh", str(tmp_path), "--record"]) == 0
+        ledger = BenchHistory(tmp_path / "BENCH_HISTORY.jsonl")
+        assert len(ledger.entries("KERNEL")) == 1
