@@ -232,7 +232,8 @@ def _truthy_guards(test: ast.expr, receiver: ast.expr) -> bool:
 
 
 def _falsy_guards(test: ast.expr, receiver: ast.expr) -> bool:
-    """True when *test* being truthy implies *receiver* is falsy/None."""
+    """True when *test* being FALSY implies *receiver* is truthy (so the
+    else branch / the code after `if test: return` is safe)."""
     if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
         return _same_expr(test.operand, receiver)
     if (isinstance(test, ast.Compare) and len(test.ops) == 1
@@ -241,6 +242,10 @@ def _falsy_guards(test: ast.expr, receiver: ast.expr) -> bool:
             and isinstance(test.comparators[0], ast.Constant)
             and test.comparators[0].value is None):
         return True
+    # `a is None or b is None` falsy implies every operand falsy, so one
+    # matching operand guards the receiver
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.Or):
+        return any(_falsy_guards(v, receiver) for v in test.values)
     return False
 
 

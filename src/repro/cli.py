@@ -119,6 +119,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="CI gate instead of tracing: time the fused solver with recording "
                          "disabled vs without a recorder at all and exit non-zero if the "
                          "disabled path costs more than 3%%")
+    sp.add_argument("--flight-smoke", action="store_true",
+                    help="CI gate instead of tracing: serve queries end-to-end with a "
+                         "flight recorder enabled vs NO_RECORDER and exit non-zero if "
+                         "always-on recording costs more than 5%%")
 
     sp = sub.add_parser(
         "report",
@@ -141,6 +145,15 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--out", default=None,
                     help="write the report to PATH instead of stdout")
     sp.add_argument("--title", default=None, help="report title")
+    sp.add_argument("--request", metavar="ID", default=None,
+                    help="narrow the report to one request's spans "
+                         "(matches the request_id span arg, live or from --trace)")
+    sp.add_argument("--slow-ms", type=float, default=None,
+                    help="record a slow-query log at this threshold during the run "
+                         "and render the 'Slow queries' section")
+    sp.add_argument("--slow-log", metavar="PATH", default=None,
+                    help="render the 'Slow queries' section from a saved JSONL log "
+                         "(SlowQueryLog.write output)")
 
     sp = sub.add_parser(
         "metrics",
@@ -189,6 +202,35 @@ def build_parser() -> argparse.ArgumentParser:
                          "are certified same-host (default)")
     sp.add_argument("--verbose", action="store_true",
                     help="show every compared metric, not just regressions")
+
+    sp = sub.add_parser(
+        "slo-check",
+        help="evaluate an SLO file against a live smoke run or a saved summary "
+             "(exit 1 on breach)",
+    )
+    sp.add_argument("slo", nargs="?", default="slo.toml",
+                    help="SLO spec file (TOML; default: slo.toml)")
+    sp.add_argument("--summary", metavar="PATH", default=None,
+                    help="evaluate a saved Recorder.summary() JSON instead of "
+                         "running a traced smoke")
+    sp.add_argument("--graph", default="ci-ws",
+                    help="dataset for the smoke run (default: ci-ws)")
+    sp.add_argument("--stepper", default="delta",
+                    help="stepper spec for the smoke run (default: delta)")
+    sp.add_argument("--weights", default="unit")
+    sp.add_argument("--queries", type=int, default=32,
+                    help="queries served by the smoke run (default: 32)")
+    sp.add_argument("--slow-ms", type=float, default=25.0,
+                    help="slow-query-log threshold for the smoke run (default: 25)")
+    sp.add_argument("--slow-log-out", metavar="PATH", default=None,
+                    help="write the smoke run's slow-query log as JSONL "
+                         "(the CI artifact)")
+    sp.add_argument("--metrics-out", metavar="PATH", default=None,
+                    help="write the post-evaluation OpenMetrics exposition "
+                         "(includes the slo.* verdict gauges)")
+    sp.add_argument("--inject-latency-ms", type=float, default=None,
+                    help="test hook: record one synthetic observation into every "
+                         "SLO metric before evaluating (forces a breach)")
 
     sp = sub.add_parser("serve-bench", help="run the SERVE throughput experiment")
     sp.add_argument("--suite", default="ci", choices=["ci", "paper"], help="graph suite (default: ci)")
@@ -359,6 +401,8 @@ def _cmd_query(args) -> int:
 def _cmd_trace(args) -> int:
     if args.overhead_smoke:
         return _trace_overhead_smoke()
+    if args.flight_smoke:
+        return _flight_overhead_smoke()
 
     from collections import Counter
 
@@ -449,22 +493,84 @@ def _trace_overhead_smoke() -> int:
     return 0
 
 
-def _recorded_run(graph: str, stepper: str, weights: str, queries: int, out):
+def _flight_overhead_smoke() -> int:
+    """The CI gate behind ``repro trace --flight-smoke``.
+
+    Times the end-to-end serving path (construct a service, solve +
+    answer 8 point queries) with :data:`NO_RECORDER` vs a live
+    :class:`FlightRecorder`-backed recorder — the always-on production
+    configuration, spans and histograms included — and fails if leaving
+    the flight recorder on costs more than 5%.  Same min-of-alternating-
+    rounds discipline as ``--overhead-smoke``.
+    """
+    from .bench.timing import time_callable
+    from .bench.workloads import suite_workloads
+    from .obs import NO_RECORDER, Recorder
+    from .service import QueryService
+
+    gate = 0.05
+    worst = 0.0
+    # the two *largest* ci workloads: the serving tier's unit of work is
+    # a batch solve, and on the sub-ms toy graphs the span count (fixed
+    # per wave) dwarfs the solve it measures — a share no production
+    # graph exhibits
+    for wl in suite_workloads("ci")[-2:]:
+        def serve(recorder) -> None:
+            svc = QueryService(wl.graph, recorder=recorder)
+            n = wl.graph.num_vertices
+            for i in range(8):
+                svc.query((wl.source + i // 2) % n)
+
+        fn_base = lambda: serve(NO_RECORDER)
+        fn_flight = lambda: serve(Recorder.flight(capacity=2048))
+        best_base = best_flight = float("inf")
+        for round_idx in range(8):
+            best_base = min(
+                best_base,
+                time_callable(fn_base, repeats=3, warmup=1, min_total_seconds=0.05).best,
+            )
+            best_flight = min(
+                best_flight,
+                time_callable(fn_flight, repeats=3, warmup=1, min_total_seconds=0.05).best,
+            )
+            if round_idx >= 2 and best_flight / best_base - 1.0 <= gate:
+                break
+        overhead = best_flight / best_base - 1.0
+        worst = max(worst, overhead)
+        print(f"{wl.name:10s} no-recorder {best_base * 1e3:8.3f} ms   "
+              f"flight-enabled {best_flight * 1e3:8.3f} ms   overhead {overhead:+.2%}")
+    if worst > gate:
+        print(f"flight overhead smoke FAILED: worst enabled-path overhead "
+              f"{worst:+.2%} exceeds {gate:.0%}", file=sys.stderr)
+        return 1
+    print(f"flight overhead smoke OK: worst enabled-path overhead {worst:+.2%} "
+          f"(gate {gate:.0%})")
+    return 0
+
+
+def _recorded_run(graph: str, stepper: str, weights: str, queries: int, out,
+                  slow_ms: float | None = None, flight: bool = False):
     """Solve + optionally serve queries with a live Recorder (the shared
-    setup behind ``report`` and ``metrics``); run info goes to *out*."""
+    setup behind ``report``, ``metrics``, and ``slo-check``); run info
+    goes to *out*.  *flight* backs the trace with a bounded
+    :class:`FlightRecorder`; *slow_ms* arms the service's slow-query log
+    (returned as the third element, ``None`` when unarmed or no queries
+    ran)."""
     from .bench.workloads import workload_for
     from .obs import Recorder
     from .stepping import solve_with
 
     wl = workload_for(graph, weights=weights)
-    rec = Recorder()
+    rec = Recorder.flight() if flight else Recorder()
     result = solve_with(stepper, wl.graph, wl.source, recorder=rec)
     print(f"solved {wl.name} with {stepper}: "
           f"{result.phases} phases, {result.relaxations} relaxations", file=out)
+    slow_log = None
     if queries > 0:
         from .service import QueryService
 
-        svc = QueryService(wl.graph, weight_mode=weights, recorder=rec)
+        svc = QueryService(wl.graph, weight_mode=weights, recorder=rec,
+                           slow_query_ms=slow_ms)
         n = wl.graph.num_vertices
         for i in range(queries):
             # every source is asked twice, so the second round hits the cache
@@ -472,7 +578,8 @@ def _recorded_run(graph: str, stepper: str, weights: str, queries: int, out):
         stats = svc.stats()
         print(f"served {stats.queries_served} queries, "
               f"cache hit rate {stats.cache.hit_rate:.0%}", file=out)
-    return wl, rec
+        slow_log = svc.slow_query_log
+    return wl, rec, slow_log
 
 
 def _cmd_report(args) -> int:
@@ -482,13 +589,16 @@ def _cmd_report(args) -> int:
     info = sys.stdout if args.out else sys.stderr
     if args.trace:
         title = args.title or f"repro run report — {args.trace}"
-        report = build_report(args.trace, title=title)
+        report = build_report(args.trace, title=title,
+                              request_id=args.request, slow_queries=args.slow_log)
     else:
-        wl, rec = _recorded_run(
-            args.graph, args.stepper, args.weights, args.queries, info
+        wl, rec, slow_log = _recorded_run(
+            args.graph, args.stepper, args.weights, args.queries, info,
+            slow_ms=args.slow_ms,
         )
         title = args.title or f"repro run report — {wl.name} · {args.stepper}"
-        report = build_report(rec, title=title)
+        report = build_report(rec, title=title, request_id=args.request,
+                              slow_queries=args.slow_log or slow_log)
     doc = render_html(report) if args.fmt == "html" else render_markdown(report)
     if args.out:
         with open(args.out, "w") as fh:
@@ -504,7 +614,7 @@ def _cmd_metrics(args) -> int:
     from .obs import render_openmetrics
 
     info = sys.stdout if (args.out or args.serve) else sys.stderr
-    _wl, rec = _recorded_run(
+    _wl, rec, _slow_log = _recorded_run(
         args.graph, args.stepper, args.weights, args.queries, info
     )
     text = render_openmetrics(rec)
@@ -581,6 +691,60 @@ def _cmd_bench_diff(args) -> int:
             print(f"  recorded to {history.path}")
         failed = failed or not result.ok
     return 1 if failed else 0
+
+
+def _cmd_slo_check(args) -> int:
+    from .obs import (
+        evaluate,
+        evaluate_summary,
+        export_slo_gauges,
+        load_slo_path,
+        render_openmetrics,
+        render_slo_text,
+    )
+
+    try:
+        specs = load_slo_path(args.slo)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"slo-check: cannot load {args.slo}: {exc}", file=sys.stderr)
+        return 2
+    print(f"{len(specs)} SLO(s) from {args.slo}: "
+          + ", ".join(s.name for s in specs))
+
+    if args.summary:
+        import json as _json
+
+        try:
+            with open(args.summary) as fh:
+                summary = _json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"slo-check: cannot load {args.summary}: {exc}", file=sys.stderr)
+            return 2
+        result = evaluate_summary(specs, summary)
+        print(render_slo_text(result))
+        return 0 if result.ok else 1
+
+    # live smoke: a flight-recorded solve + serve round, evaluated in place
+    wl, rec, slow_log = _recorded_run(
+        args.graph, args.stepper, args.weights, args.queries, sys.stdout,
+        slow_ms=args.slow_ms, flight=True,
+    )
+    if args.inject_latency_ms is not None and rec:
+        for spec in specs:
+            rec.observe(spec.metric, args.inject_latency_ms)
+        print(f"injected one {args.inject_latency_ms:g} ms observation into "
+              f"{len(specs)} SLO metric(s)")
+    result = evaluate(specs, rec.metrics)
+    export_slo_gauges(result, rec.metrics)
+    print(render_slo_text(result))
+    if args.slow_log_out and slow_log is not None:
+        print(f"wrote {slow_log.write(args.slow_log_out)} "
+              f"({len(slow_log)} slow-query entries, {slow_log.total} total)")
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as fh:
+            fh.write(render_openmetrics(rec))
+        print(f"wrote {args.metrics_out}")
+    return 0 if result.ok else 1
 
 
 def _cmd_serve_bench(args) -> int:
@@ -779,6 +943,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": _cmd_report,
         "metrics": _cmd_metrics,
         "bench-diff": _cmd_bench_diff,
+        "slo-check": _cmd_slo_check,
         "serve-bench": _cmd_serve_bench,
         "mutate-bench": _cmd_mutate_bench,
         "step-bench": _cmd_step_bench,

@@ -230,6 +230,9 @@ def repair_sssp(
             delta=delta, validate=validate, stepper=stepper,
         )
     t0 = time.perf_counter()
+    # first touch fixes the buckets: repairs are ms-scale, so pin the
+    # sub-ms "latency-ms" preset before the first observe
+    recorder.metrics.histogram("repair.ms", buckets="latency-ms")
     with recorder.span("repair", source=int(source)) as sp:
         result = _repair_sssp(
             graph, source, distances, updates,

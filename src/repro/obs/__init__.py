@@ -55,8 +55,16 @@ from .export import (
     render_openmetrics,
     sanitize_metric_name,
 )
+from .flight import (
+    DEFAULT_FLIGHT_CAPACITY,
+    FlightRecorder,
+    FlightTrigger,
+    SlowQueryLog,
+)
 from .metrics import (
+    BUCKET_PRESETS,
     DEFAULT_LATENCY_BUCKETS_MS,
+    LATENCY_MS_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -66,9 +74,25 @@ from .recorder import NO_RECORDER, NullRecorder, Recorder
 from .report import (
     RunReport,
     build_report,
+    filter_spans_by_request,
+    load_slow_queries,
     load_trace,
     render_html,
     render_markdown,
+)
+from .slo import (
+    AvailabilityObjective,
+    BurnRateMonitor,
+    CheckResult,
+    LatencyTarget,
+    SLOResult,
+    SLOSpec,
+    evaluate,
+    evaluate_summary,
+    export_slo_gauges,
+    load_slo_path,
+    parse_slo_data,
+    render_slo_text,
 )
 from .stage import NO_TIMER, NullTimer, StageTimer
 from .trace import NO_TRACE, NullTrace, Span, TraceRecorder
@@ -81,21 +105,41 @@ __all__ = [
     "NullTrace",
     "NO_TRACE",
     "Span",
+    "FlightRecorder",
+    "FlightTrigger",
+    "SlowQueryLog",
+    "DEFAULT_FLIGHT_CAPACITY",
     "MetricsRegistry",
     "Counter",
     "Gauge",
     "Histogram",
     "DEFAULT_LATENCY_BUCKETS_MS",
+    "LATENCY_MS_BUCKETS",
+    "BUCKET_PRESETS",
     "StageTimer",
     "NullTimer",
     "NO_TIMER",
     "RunReport",
     "build_report",
     "load_trace",
+    "load_slow_queries",
+    "filter_spans_by_request",
     "render_markdown",
     "render_html",
     "render_openmetrics",
     "sanitize_metric_name",
     "MetricsServer",
     "OPENMETRICS_CONTENT_TYPE",
+    "SLOSpec",
+    "LatencyTarget",
+    "AvailabilityObjective",
+    "CheckResult",
+    "SLOResult",
+    "BurnRateMonitor",
+    "load_slo_path",
+    "parse_slo_data",
+    "evaluate",
+    "evaluate_summary",
+    "export_slo_gauges",
+    "render_slo_text",
 ]

@@ -30,8 +30,10 @@ of the ``mypy --strict`` typing gate.
 
 from __future__ import annotations
 
+import json
 import re
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from math import isinf, isnan
 from typing import Union
@@ -137,6 +139,11 @@ class MetricsServer:
     ``port=0`` (the default) binds an ephemeral port; :attr:`port` and
     :attr:`url` report what was bound.  ``close()`` (or the context
     exit) shuts the server down and joins its thread.
+
+    Besides the scrape path the server answers ``/healthz`` — a liveness
+    probe returning 200 with a small JSON body (status, uptime seconds,
+    scrapes served) that never touches the registry, so an orchestrator
+    health check stays cheap and cannot be slowed by a large exposition.
     """
 
     def __init__(
@@ -149,12 +156,29 @@ class MetricsServer:
     ) -> None:
         registry = _registry_of(metrics)
         endpoint = path
+        started = time.monotonic()
+        server = self
 
         class _Handler(BaseHTTPRequestHandler):
             def do_GET(self) -> None:
-                if self.path.partition("?")[0] not in (endpoint, "/"):
+                route = self.path.partition("?")[0]
+                if route == "/healthz":
+                    payload = {
+                        "status": "ok",
+                        "uptime_s": round(time.monotonic() - started, 3),
+                        "scrapes": server.scrapes,
+                    }
+                    body = json.dumps(payload).encode("utf-8")
+                    self.send_response(200)
+                    self.send_header("Content-Type", "application/json")
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+                    return
+                if route not in (endpoint, "/"):
                     self.send_error(404, "scrape endpoint is %s" % endpoint)
                     return
+                server.scrapes += 1
                 body = render_openmetrics(registry, prefix=prefix).encode("utf-8")
                 self.send_response(200)
                 self.send_header("Content-Type", OPENMETRICS_CONTENT_TYPE)
@@ -166,6 +190,9 @@ class MetricsServer:
                 pass  # a scrape target must not spam the serving tier's stderr
 
         self.path = endpoint
+        #: scrapes served since start (reported by ``/healthz``); a plain
+        #: int increment — GIL-granular, same trade as the instruments
+        self.scrapes = 0
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self.host = str(self._httpd.server_address[0])
         self.port = int(self._httpd.server_address[1])

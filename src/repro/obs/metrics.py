@@ -40,11 +40,31 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS_MS",
+    "LATENCY_MS_BUCKETS",
+    "BUCKET_PRESETS",
 ]
 
 #: default histogram bucket upper bounds, in milliseconds: geometric
 #: ×2 ladder from 1 µs to ~9 minutes (30 buckets + overflow)
 DEFAULT_LATENCY_BUCKETS_MS = tuple(1e-3 * 2**i for i in range(30))
+
+#: millisecond-scale serving-latency ladder: sub-ms resolution where the
+#: cache-hit / small-batch mass lives (50 µs steps up to 1 ms), then a
+#: 1–2.5–5 decade ladder out to 10 s.  The SLO percentiles interpolate
+#: inside one bucket, so resolution here bounds their error directly —
+#: the coarse geometric default puts all of 0.5–1 ms in a single bucket.
+LATENCY_MS_BUCKETS = (
+    0.05, 0.1, 0.25, 0.5, 0.75, 1.0,
+    2.5, 5.0, 7.5, 10.0, 25.0, 50.0, 75.0, 100.0,
+    250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+)
+
+#: named bucket presets ``Histogram``/``MetricsRegistry.histogram``
+#: accept in place of an explicit bound sequence
+BUCKET_PRESETS: dict[str, tuple[float, ...]] = {
+    "default": DEFAULT_LATENCY_BUCKETS_MS,
+    "latency-ms": LATENCY_MS_BUCKETS,
+}
 
 
 class Counter:
@@ -108,7 +128,15 @@ class Histogram:
     min: float
     max: float
 
-    def __init__(self, buckets: Iterable[float] | None = None) -> None:
+    def __init__(self, buckets: "Iterable[float] | str | None" = None) -> None:
+        if isinstance(buckets, str):
+            try:
+                buckets = BUCKET_PRESETS[buckets]
+            except KeyError:
+                raise ValueError(
+                    f"unknown bucket preset {buckets!r}; "
+                    f"known: {', '.join(sorted(BUCKET_PRESETS))}"
+                ) from None
         bounds = tuple(buckets) if buckets is not None else DEFAULT_LATENCY_BUCKETS_MS
         if not bounds or list(bounds) != sorted(bounds):
             raise ValueError("histogram buckets must be a non-empty ascending sequence")
@@ -224,7 +252,9 @@ class MetricsRegistry:
                     g = self._gauges[name] = Gauge()
         return g
 
-    def histogram(self, name: str, buckets: Iterable[float] | None = None) -> Histogram:
+    def histogram(
+        self, name: str, buckets: "Iterable[float] | str | None" = None
+    ) -> Histogram:
         h = self._histograms.get(name)
         if h is None:
             with self._lock:
@@ -253,22 +283,39 @@ class MetricsRegistry:
 
         This is the exposition surface: :mod:`repro.obs.export` walks it
         to emit OpenMetrics text with the raw bucket counts the
-        ``snapshot`` summaries deliberately collapse.
+        ``snapshot`` summaries deliberately collapse.  The name lists are
+        copied under the creation lock, so a scrape iterating while other
+        threads register fresh instruments never sees a mid-resize dict
+        (the precondition for the async serving front end).
         """
-        for name, c in sorted(self._counters.items()):
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
+        for name, c in counters:
             yield "counter", name, c
-        for name, g in sorted(self._gauges.items()):
+        for name, g in gauges:
             yield "gauge", name, g
-        for name, h in sorted(self._histograms.items()):
+        for name, h in histograms:
             yield "histogram", name, h
 
     def snapshot(self) -> dict[str, Any]:
         """Everything, as plain dicts: ``{"counters": {...}, "gauges":
-        {...}, "histograms": {name: summary}}``."""
+        {...}, "histograms": {name: summary}}``.
+
+        Like :meth:`items`, the instrument lists are copied under the
+        creation lock before rendering — safe against concurrent
+        registration (individual readings stay the GIL-granularity
+        values the instruments themselves provide).
+        """
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
         return {
-            "counters": {k: c.value for k, c in sorted(self._counters.items())},
-            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
-            "histograms": {k: h.summary() for k, h in sorted(self._histograms.items())},
+            "counters": {k: c.value for k, c in counters},
+            "gauges": {k: g.value for k, g in gauges},
+            "histograms": {k: h.summary() for k, h in histograms},
         }
 
     def as_dict(self) -> dict[str, Any]:

@@ -26,7 +26,8 @@ it is falsy, and every method is a no-op.
 from __future__ import annotations
 
 import os
-from typing import Any
+from contextlib import contextmanager
+from typing import Any, ContextManager, Iterator
 
 from .metrics import MetricsRegistry
 from .trace import _NULL_SPAN, Span, TraceRecorder, _NullSpan
@@ -50,6 +51,21 @@ class Recorder:
         self.trace = trace if trace is not None else TraceRecorder()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
 
+    @classmethod
+    def flight(
+        cls,
+        capacity: int | None = None,
+        metrics: MetricsRegistry | None = None,
+        triggers: Any = (),
+    ) -> "Recorder":
+        """A recorder whose trace half is a bounded
+        :class:`~repro.obs.flight.FlightRecorder` — the always-on
+        production configuration (fixed memory, anomaly triggers)."""
+        from .flight import DEFAULT_FLIGHT_CAPACITY, FlightRecorder
+
+        cap = capacity if capacity is not None else DEFAULT_FLIGHT_CAPACITY
+        return cls(trace=FlightRecorder(cap, triggers=triggers), metrics=metrics)
+
     def __bool__(self) -> bool:
         return True
 
@@ -60,6 +76,12 @@ class Recorder:
 
     def instant(self, name: str, **args: Any) -> None:
         self.trace.instant(name, **args)
+
+    def context(self, **args: Any) -> ContextManager[None]:
+        """Ambient span args for a scope (request ids and the like):
+        every span/instant recorded inside carries them.  See
+        :meth:`TraceRecorder.context`."""
+        return self.trace.context(**args)
 
     # -- metrics -------------------------------------------------------------
 
@@ -109,6 +131,10 @@ class NullRecorder:
 
     def instant(self, _name: str, **_args: Any) -> None:
         pass
+
+    @contextmanager
+    def context(self, **_args: Any) -> Iterator[None]:
+        yield
 
     def inc(self, _name: str, _n: int = 1) -> None:
         pass

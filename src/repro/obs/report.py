@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from math import isnan
 from typing import Any, Mapping, Sequence, Union
 
+from .flight import SlowQueryLog
 from .recorder import Recorder
 from .trace import TraceRecorder
 
@@ -49,6 +50,8 @@ __all__ = [
     "RunReport",
     "spans_from_chrome",
     "load_trace",
+    "load_slow_queries",
+    "filter_spans_by_request",
     "build_span_tree",
     "stage_attribution",
     "build_report",
@@ -162,6 +165,51 @@ def _resolve_spans(source: TraceSource) -> list[SpanDict]:
     if isinstance(source, (str, os.PathLike)):
         return load_trace(source)
     return [dict(s) for s in source]
+
+
+def filter_spans_by_request(
+    spans: Sequence[SpanDict], request_id: str
+) -> list[SpanDict]:
+    """The spans belonging to one request.
+
+    The serving tier stamps every span of a drain round with the round's
+    (comma-joined, when batched) request ids, so a span belongs to
+    *request_id* when the id is a member of its ``request_id`` arg.
+    Works identically on live recorder spans and reloaded Chrome traces
+    — this is the round trip ``repro report --request`` rides on.
+    """
+    out: list[SpanDict] = []
+    for s in spans:
+        rid = dict(s.get("args", {})).get("request_id")
+        if rid is not None and request_id in str(rid).split(","):
+            out.append(s)
+    return out
+
+
+#: what :func:`build_report` accepts as its slow-query source: the live
+#: log, already-loaded entries, or a saved JSONL path
+SlowQuerySource = Union[
+    SlowQueryLog, Sequence[Mapping[str, Any]], str, "os.PathLike[str]"
+]
+
+
+def load_slow_queries(path: "str | os.PathLike[str]") -> list[dict[str, Any]]:
+    """Load a saved slow-query log (``SlowQueryLog.write`` JSONL)."""
+    entries: list[dict[str, Any]] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                entries.append(json.loads(line))
+    return entries
+
+
+def _resolve_slow_queries(source: SlowQuerySource) -> list[dict[str, Any]]:
+    if isinstance(source, SlowQueryLog):
+        return source.entries()
+    if isinstance(source, (str, os.PathLike)):
+        return load_slow_queries(source)
+    return [dict(e) for e in source]
 
 
 # --------------------------------------------------------------------------
@@ -306,6 +354,8 @@ def build_report(
     source: TraceSource,
     metrics: Mapping[str, Any] | None = None,
     title: str = "repro run report",
+    request_id: str | None = None,
+    slow_queries: SlowQuerySource | None = None,
 ) -> RunReport:
     """Assemble the structured report.
 
@@ -313,10 +363,18 @@ def build_report(
     trace document (dict) or path, or an already-flat span list.  When a
     :class:`Recorder` is passed and *metrics* is omitted, its own
     registry snapshot fills the metrics sections.
+
+    *request_id* narrows the whole report to one request's spans (see
+    :func:`filter_spans_by_request`); *slow_queries* — a live
+    :class:`~repro.obs.flight.SlowQueryLog`, loaded entries, or a saved
+    JSONL path — adds the "Slow queries" section.
     """
     if metrics is None and isinstance(source, Recorder):
         metrics = source.summary()
     spans = _resolve_spans(source)
+    if request_id is not None:
+        spans = filter_spans_by_request(spans, request_id)
+        title = f"{title} — request {request_id}"
     roots = build_span_tree(spans)
     report = RunReport(title=title, span_count=len(spans))
 
@@ -372,6 +430,8 @@ def build_report(
     _exchange_section(spans, report)
     _bucket_section(spans, report)
     _wave_section(spans, report)
+    if slow_queries is not None:
+        _slow_query_section(_resolve_slow_queries(slow_queries), report)
     _metrics_sections(metrics, report)
     return report
 
@@ -516,6 +576,49 @@ def _wave_section(spans: Sequence[SpanDict], report: RunReport) -> None:
             table=rows,
         )
     )
+
+
+def _slow_query_section(
+    entries: Sequence[Mapping[str, Any]], report: RunReport
+) -> None:
+    section = ReportSection("Slow queries")
+    if not entries:
+        section.lines.append("No queries crossed the slow-query threshold.")
+        report.sections.append(section)
+        return
+    ordered = sorted(
+        (dict(e) for e in entries),
+        key=lambda e: float(e.get("latency_ms", 0.0)),
+        reverse=True,
+    )
+    threshold = ordered[0].get("threshold_ms")
+    over = f" (threshold {_f(float(threshold), 1)} ms)" if threshold is not None else ""
+    section.lines.append(f"{len(ordered)} slow quer{'y' if len(ordered) == 1 else 'ies'}{over}, worst first.")
+    if len(ordered) > MAX_TABLE_ROWS:
+        section.lines.append(f"Showing the {MAX_TABLE_ROWS} slowest.")
+    rows: list[dict[str, str]] = []
+    for e in ordered[:MAX_TABLE_ROWS]:
+        plan = dict(e.get("plan", {}))
+        counters = dict(e.get("counters", {}))
+        plan_s = (
+            f"{plan.get('cached', 0)}c/{plan.get('exact_sources', 0)}x/"
+            f"{plan.get('approximate', 0)}a"
+            if plan
+            else "-"
+        )
+        rows.append(
+            {
+                "request": str(e.get("request_id", "?")),
+                "latency ms": _f(float(e.get("latency_ms", float("nan")))),
+                "stepper": str(e.get("stepper", "-")),
+                "cache": "hit" if e.get("cache_hit") else "miss",
+                "plan (cached/exact/approx)": plan_s,
+                "supersteps": str(counters.get("sharded.supersteps", "-")),
+                "flight spans": str(len(e.get("flight", []) or [])),
+            }
+        )
+    section.table = rows
+    report.sections.append(section)
 
 
 def _metrics_sections(metrics: Mapping[str, Any] | None, report: RunReport) -> None:

@@ -26,12 +26,27 @@ import json
 import os
 import threading
 import time
-from typing import Any
+from contextlib import contextmanager
+from typing import Any, Iterator, Protocol
 
 __all__ = ["Span", "TraceRecorder", "NullTrace", "NO_TRACE"]
 
 #: one recorded event: phase, name, t0 ns, duration ns, thread id, args
 _Event = tuple[str, str, int, int, int, "dict[str, Any]"]
+
+
+class _EventStore(Protocol):
+    """What the recorder needs from its event storage — a plain list by
+    default; :class:`repro.obs.flight.FlightRecorder` substitutes a
+    bounded ring with the same surface."""
+
+    def append(self, event: _Event) -> None: ...
+
+    def clear(self) -> None: ...
+
+    def __len__(self) -> int: ...
+
+    def __iter__(self) -> Iterator[_Event]: ...
 
 
 def _json_safe(value: Any) -> Any:
@@ -79,7 +94,7 @@ class Span:
 
     def __exit__(self, *exc: object) -> bool:
         t1 = time.perf_counter_ns()
-        self._trace._events.append(
+        self._trace._record(
             ("X", self.name, self._t0, t1 - self._t0, threading.get_ident(), self.args)
         )
         return False
@@ -96,18 +111,54 @@ class TraceRecorder:
     enabled = True
 
     def __init__(self) -> None:
-        self._events: list[_Event] = []
+        self._events: _EventStore = []
         self._t0 = time.perf_counter_ns()
+        #: ambient-arg stack (see :meth:`context`); empty = zero overhead
+        self._context: list[dict[str, Any]] = []
 
     def span(self, name: str, **args: Any) -> Span:
         """A context-managed span: ``with trace.span("phase", wave=8):``."""
+        if self._context:
+            merged = dict(self._context[-1])
+            merged.update(args)
+            args = merged
         return Span(self, name, args)
 
     def instant(self, name: str, **args: Any) -> None:
         """Record a zero-duration marker event."""
-        self._events.append(
+        if self._context:
+            merged = dict(self._context[-1])
+            merged.update(args)
+            args = merged
+        self._record(
             ("i", name, time.perf_counter_ns(), 0, threading.get_ident(), args)
         )
+
+    def _record(self, event: _Event) -> None:
+        """Store one finished event (the flight recorder overrides this
+        to write into its ring and run anomaly triggers)."""
+        self._events.append(event)
+
+    @contextmanager
+    def context(self, **args: Any) -> Iterator[None]:
+        """Attach ambient args to every span/instant recorded inside.
+
+        Contexts nest (inner values win on key collision), and the stack
+        is **recorder-scoped, not thread-scoped** on purpose: a sharded
+        solve fans its shard steps out on pool threads, and those
+        ``shard-step`` spans must still carry the enclosing request's
+        ``request_id`` — which a thread-local could not deliver.  The
+        repo's serving tier drains synchronously (one round in flight per
+        recorder), which is what makes the recorder-scoped stack sound.
+        Explicit span args always beat ambient ones.
+        """
+        merged = dict(self._context[-1]) if self._context else {}
+        merged.update(args)
+        self._context.append(merged)
+        try:
+            yield
+        finally:
+            self._context.pop()
 
     def __len__(self) -> int:
         return len(self._events)
@@ -212,6 +263,10 @@ class NullTrace:
 
     def instant(self, _name: str, **_args: Any) -> None:
         pass
+
+    @contextmanager
+    def context(self, **_args: Any) -> Iterator[None]:
+        yield
 
     def __len__(self) -> int:
         return 0

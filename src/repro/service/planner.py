@@ -32,12 +32,16 @@ class Query:
 
     ``target=None`` asks for the full one-to-many distance vector.
     ``max_latency_ms`` (optional) lets a single query demand a tighter
-    budget than the service default.
+    budget than the service default.  ``request_id`` names the request
+    for tracing — :meth:`QueryService.submit` assigns one (``q-NNNNNN``)
+    when the caller didn't, and the service stamps it onto every span
+    the request produces, down to the sharded stepper's per-shard work.
     """
 
     source: int
     target: int | None = None
     max_latency_ms: float | None = None
+    request_id: str | None = None
 
 
 @dataclass

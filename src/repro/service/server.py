@@ -23,13 +23,14 @@ surface.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from ..dynamic.incremental import repair_sssp
 from ..dynamic.mutations import AppliedUpdates, apply_edge_updates
 from ..graphs.graph import Graph
+from ..obs.flight import FlightRecorder, SlowQueryLog
 from ..sssp.delta import choose_delta
 from .batch import batch_delta_stepping
 from .cache import CacheStats, DistanceCache
@@ -146,9 +147,26 @@ class QueryService:
         (``service:drain`` / ``service:plan`` / ``service:batch-solve``
         spans, forwarded into the solves), feeds the per-query and
         mutation latencies into ``service.query_ms`` /
-        ``service.mutate_ms`` histograms, and binds the cache's
-        hit/miss/eviction counters to the recorder's metrics registry.
-        Recording never changes any answer.
+        ``service.mutate_ms`` histograms (``latency-ms`` bucket preset:
+        sub-ms resolution), and binds the cache's hit/miss/eviction
+        counters to the recorder's metrics registry.  Every drain round
+        additionally runs under a ``request_id`` ambient trace context,
+        so each span a request produces — plan, batch-solve, and the
+        sharded stepper's superstep/shard-step/exchange spans beneath
+        them — carries the ids it served and the trace is filterable
+        per request.  Recording never changes any answer.
+    slow_query_ms:
+        Latency threshold for the structured slow-query log: any
+        response slower than this produces one
+        :class:`repro.obs.SlowQueryLog` entry (request id, plan shape,
+        stepper spec, cache verdict, work-counter deltas, and — when the
+        recorder's trace is a :class:`repro.obs.FlightRecorder` — a
+        flight snapshot of the spans leading up to it).  Requires a
+        truthy *recorder*; ``None`` disables the log.
+    slow_query_log:
+        A pre-built :class:`repro.obs.SlowQueryLog` to append into
+        (overrides *slow_query_ms*; pass a shared instance to pool
+        across services).
     """
 
     def __init__(
@@ -166,10 +184,21 @@ class QueryService:
         autotune: bool = False,
         tuner=None,
         recorder=None,
+        slow_query_ms: float | None = None,
+        slow_query_log: SlowQueryLog | None = None,
     ):
         self.graph = graph
         self.weight_mode = weight_mode
         self.recorder = recorder if recorder else None
+        if self.recorder is not None:
+            # pre-declare the latency histograms on the ms-scale preset
+            # (first touch fixes the buckets; the coarse geometric
+            # default cannot resolve sub-ms cache hits)
+            self.recorder.metrics.histogram("service.query_ms", buckets="latency-ms")
+            self.recorder.metrics.histogram("service.mutate_ms", buckets="latency-ms")
+        if slow_query_log is None and slow_query_ms is not None:
+            slow_query_log = SlowQueryLog(slow_query_ms)
+        self.slow_query_log = slow_query_log
         self._delta_auto = delta is None
         self.delta = delta if delta is not None else choose_delta(graph)
         if cache is None:
@@ -194,6 +223,8 @@ class QueryService:
         self.tuner = tuner
         self.batch_method = batch_method
         self._pending: list[Query] = []
+        self._request_seq = 0
+        self._last_plan: QueryPlan | None = None
         self._latencies_ms: list[float] = []
         self._serving_seconds = 0.0
         self._exact = 0
@@ -206,12 +237,21 @@ class QueryService:
     # -- request intake ----------------------------------------------------
 
     def submit(self, query: Query) -> int:
-        """Enqueue one query; returns its position in the next drain."""
+        """Enqueue one query; returns its position in the next drain.
+
+        A query without a ``request_id`` gets one assigned
+        (``q-NNNNNN``, service-scoped) — the id the response's ``query``
+        carries, the trace spans are tagged with, and the slow-query log
+        records.
+        """
         n = self.graph.num_vertices
         if not 0 <= query.source < n:
             raise IndexError(f"source {query.source} out of range [0, {n})")
         if query.target is not None and not 0 <= query.target < n:
             raise IndexError(f"target {query.target} out of range [0, {n})")
+        if query.request_id is None:
+            self._request_seq += 1
+            query = replace(query, request_id=f"q-{self._request_seq:06d}")
         self._pending.append(query)
         return len(self._pending) - 1
 
@@ -234,13 +274,75 @@ class QueryService:
         rec = self.recorder
         if rec is None:
             return self._drain_round(queries)
-        with rec.span("service:drain", queries=len(queries)) as sp:
-            responses = self._drain_round(queries)
-            sp.set(exact=sum(1 for r in responses if r.exact))
+        # one synchronous round serves every pending request, so the
+        # ambient id is the (deduplicated) comma-joined set — a span
+        # belongs to a request iff the id appears in its request_id arg
+        request_id = ",".join(
+            dict.fromkeys(q.request_id for q in queries if q.request_id is not None)
+        )
+        counters_before = (
+            rec.summary()["counters"] if self.slow_query_log is not None else None
+        )
+        with rec.context(request_id=request_id):
+            with rec.span("service:drain", queries=len(queries)) as sp:
+                responses = self._drain_round(queries)
+                sp.set(exact=sum(1 for r in responses if r.exact))
         for r in responses:
             rec.observe("service.query_ms", r.latency_ms)
         rec.inc("service.queries", len(responses))
+        if counters_before is not None:
+            self._log_slow(responses, counters_before)
         return responses
+
+    def _log_slow(
+        self, responses: list[QueryResponse], counters_before: dict
+    ) -> None:
+        """Append one slow-query entry per over-threshold response."""
+        rec = self.recorder
+        log = self.slow_query_log
+        if rec is None or log is None:
+            return
+        slow = [r for r in responses if r.latency_ms > log.threshold_ms]
+        if not slow:
+            return
+        counters_after = rec.summary()["counters"]
+        deltas = {
+            k: v - counters_before.get(k, 0)
+            for k, v in counters_after.items()
+            if v != counters_before.get(k, 0)
+        }
+        plan = self._last_plan
+        plan_shape = (
+            {
+                "cached": len(plan.cached),
+                "batches": len(plan.batches),
+                "exact_sources": plan.num_exact_sources,
+                "approximate": len(plan.approximate),
+            }
+            if plan is not None
+            else {}
+        )
+        stepper = (plan.stepper if plan is not None else None) or self.batch_method
+        trace = rec.trace
+        flight = (
+            trace.snapshot(last=32) if isinstance(trace, FlightRecorder) else None
+        )
+        for r in slow:
+            entry = {
+                "request_id": r.query.request_id,
+                "source": int(r.query.source),
+                "target": None if r.query.target is None else int(r.query.target),
+                "latency_ms": round(r.latency_ms, 3),
+                "plan": plan_shape,
+                "stepper": str(stepper),
+                "cache_hit": bool(r.from_cache),
+                "exact": bool(r.exact),
+                "counters": deltas,
+            }
+            if flight is not None:
+                entry["flight"] = flight
+            log.record(entry)
+        rec.inc("service.slow_queries", len(slow))
 
     def _drain_round(self, queries: list[Query]) -> list[QueryResponse]:
         """One planning/execution round (:meth:`drain` adds the spans)."""
@@ -268,6 +370,7 @@ class QueryService:
                 weight_mode=self.weight_mode,
                 has_landmarks=self.landmarks is not None,
             )
+        self._last_plan = plan
         if self.tuner is not None and plan.batches and plan.stepper is None:
             # tuned routing: probe once per graph epoch (the tuner caches),
             # install the winner; a mutation clears it for re-tuning.  The
@@ -458,10 +561,20 @@ class QueryService:
         return self.cache.invalidate(self.graph)
 
     def stats(self) -> ServiceStats:
-        lat = np.asarray(self._latencies_ms, dtype=np.float64)
-        p50, p90, p99 = (
-            tuple(np.percentile(lat, [50, 90, 99])) if len(lat) else (0.0, 0.0, 0.0)
-        )
+        rec = self.recorder
+        if rec is not None:
+            # the bound recorder's histogram is the source of truth: the
+            # same distribution the OpenMetrics scrape and the SLO engine
+            # read, including its NaN sentinel when nothing was observed
+            summary = rec.metrics.histogram("service.query_ms").summary()
+            p50, p90, p99 = summary["p50"], summary["p90"], summary["p99"]
+        else:
+            lat = np.asarray(self._latencies_ms, dtype=np.float64)
+            p50, p90, p99 = (
+                tuple(np.percentile(lat, [50, 90, 99]))
+                if len(lat)
+                else (0.0, 0.0, 0.0)
+            )
         served = self._exact + self._approximate
         qps = served / self._serving_seconds if self._serving_seconds > 0 else 0.0
         return ServiceStats(

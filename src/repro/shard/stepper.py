@@ -328,6 +328,16 @@ class ShardedDeltaStepper(Stepper):
             "cut_edges": sg.num_cut_edges,
             "cut_fraction": sg.cut_fraction,
         }
+        if recorder:
+            # aggregate counters next to the spans: the serving tier's
+            # slow-query log snapshots these as per-round deltas
+            comm = ex.stats.as_dict()
+            recorder.inc("sharded.supersteps", int(counters["steps"]))
+            recorder.inc("sharded.relaxations", int(counters["relaxations"]))
+            recorder.inc("sharded.exchange.rounds", int(comm["exchanges"]))
+            recorder.inc(
+                "sharded.exchange.entries_carried", int(comm["entries_carried"])
+            )
         counters["comm"] = ex.stats.as_dict()
         counters["comm"]["per_superstep"] = ex.stats.per_superstep()
         return counters

@@ -159,6 +159,28 @@ class TestRecorderGuard:
             """})
         assert _on(run_lint(select=["recorder-guard"], root=root), "sssp/mod.py") == []
 
+    def test_compound_early_return_guards(self, tmp_path):
+        # `if rec is None or log is None: return` — the test being falsy
+        # implies rec is bound, so everything after it is guarded
+        root = _tree(tmp_path, {"sssp/mod.py": """\
+            def log_slow(rec=None, log=None):
+                if rec is None or log is None:
+                    return
+                rec.inc("slow", 1)
+                rec.observe("lat", 2.0)
+            """})
+        assert _on(run_lint(select=["recorder-guard"], root=root), "sssp/mod.py") == []
+
+    def test_compound_early_return_without_receiver_still_caught(self, tmp_path):
+        root = _tree(tmp_path, {"sssp/mod.py": """\
+            def log_slow(rec=None, log=None):
+                if log is None or log.closed:
+                    return
+                rec.inc("slow", 1)
+            """})
+        found = _on(run_lint(select=["recorder-guard"], root=root), "sssp/mod.py")
+        assert len(found) == 1 and "rec.inc" in found[0].message
+
     def test_self_attribute_receiver_caught(self, tmp_path):
         root = _tree(tmp_path, {"service/mod.py": """\
             class S:

@@ -110,6 +110,30 @@ class TestMetricsServer:
             with urllib.request.urlopen(srv.url, timeout=5) as resp:
                 assert b"repro_events_total 42" in resp.read()
 
+    def test_healthz_endpoint(self):
+        import json
+
+        reg = MetricsRegistry()
+        with MetricsServer(reg) as srv:
+            health_url = srv.url.replace("/metrics", "/healthz")
+            with urllib.request.urlopen(health_url, timeout=5) as resp:
+                assert resp.status == 200
+                assert resp.headers["Content-Type"] == "application/json"
+                body = json.loads(resp.read())
+        assert body["status"] == "ok"
+        assert body["uptime_s"] >= 0
+        assert body["scrapes"] == 0  # health probes are not scrapes
+
+    def test_healthz_counts_metric_scrapes(self):
+        import json
+
+        with MetricsServer(MetricsRegistry()) as srv:
+            for _ in range(3):
+                urllib.request.urlopen(srv.url, timeout=5).read()
+            health_url = srv.url.replace("/metrics", "/healthz")
+            with urllib.request.urlopen(health_url, timeout=5) as resp:
+                assert json.loads(resp.read())["scrapes"] == 3
+
     def test_unknown_path_is_404(self):
         with MetricsServer(MetricsRegistry()) as srv:
             bad = srv.url.replace("/metrics", "/nope")

@@ -1,0 +1,98 @@
+"""MetricsRegistry under concurrent writers: exact totals, safe iteration.
+
+The serving tier's scrape endpoint iterates the registry while worker
+threads write into it — the creation lock must keep registration,
+``items()``, and ``snapshot()`` from ever observing a mid-resize dict,
+and counter increments must not lose updates.
+"""
+
+import threading
+
+from repro.obs import MetricsRegistry, render_openmetrics
+
+
+def _run_threads(n, fn):
+    barrier = threading.Barrier(n)
+
+    def body(i):
+        barrier.wait()
+        fn(i)
+
+    threads = [threading.Thread(target=body, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+class TestConcurrentWriters:
+    def test_counter_increments_are_exact(self):
+        reg = MetricsRegistry()
+        rounds = 2000
+
+        def writer(i):
+            for _ in range(rounds):
+                reg.inc("hits")
+
+        _run_threads(8, writer)
+        assert reg.snapshot()["counters"]["hits"] == 8 * rounds
+
+    def test_histogram_observation_count_is_exact(self):
+        reg = MetricsRegistry()
+        rounds = 2000
+
+        def writer(i):
+            for j in range(rounds):
+                reg.observe("lat", float(j % 7))
+
+        _run_threads(8, writer)
+        h = reg.histogram("lat")
+        assert h.count == 8 * rounds
+        assert sum(h.counts) == 8 * rounds  # no bucket update lost
+
+    def test_concurrent_registration_yields_one_instrument(self):
+        reg = MetricsRegistry()
+        seen = []
+
+        def register(i):
+            seen.append(reg.counter("shared"))
+
+        _run_threads(16, register)
+        assert all(c is seen[0] for c in seen)
+
+    def test_snapshot_while_writers_register_fresh_instruments(self):
+        reg = MetricsRegistry()
+        stop = threading.Event()
+        errors = []
+
+        def writer(i):
+            n = 0
+            while not stop.is_set():
+                reg.inc(f"c.{i}.{n % 50}")
+                reg.set_gauge(f"g.{i}.{n % 50}", float(n))
+                reg.observe(f"h.{i}.{n % 50}", float(n % 9))
+                n += 1
+
+        def reader():
+            try:
+                for _ in range(200):
+                    snap = reg.snapshot()
+                    for value in snap["counters"].values():
+                        assert value >= 0
+                    for kind, name, inst in reg.items():
+                        assert name
+                    text = render_openmetrics(reg)
+                    assert text.endswith("# EOF\n")
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        writers = [threading.Thread(target=writer, args=(i,)) for i in range(4)]
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        for t in writers + readers:
+            t.start()
+        for t in readers:
+            t.join()
+        stop.set()
+        for t in writers:
+            t.join()
+        assert errors == []

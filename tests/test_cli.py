@@ -344,3 +344,74 @@ class TestObservabilityCommands:
                      "--fresh", str(tmp_path), "--record"]) == 0
         ledger = BenchHistory(tmp_path / "BENCH_HISTORY.jsonl")
         assert len(ledger.entries("KERNEL")) == 1
+
+
+class TestSLOCommands:
+    def test_slo_check_parser_defaults(self):
+        args = build_parser().parse_args(["slo-check"])
+        assert args.slo == "slo.toml"
+        assert args.summary is None
+        assert args.graph == "ci-ws"
+        assert args.queries == 32
+        assert args.slow_ms == 25.0
+        assert args.inject_latency_ms is None
+
+    def test_report_request_and_slow_flags(self):
+        args = build_parser().parse_args(
+            ["report", "--request", "q-000001", "--slow-ms", "5.0"])
+        assert args.request == "q-000001"
+        assert args.slow_ms == 5.0
+
+    def test_trace_flight_smoke_flag(self):
+        args = build_parser().parse_args(["trace", "--flight-smoke"])
+        assert args.flight_smoke
+
+    def test_slo_check_passes_on_committed_file(self, capsys, tmp_path):
+        slow = tmp_path / "slow.jsonl"
+        metrics = tmp_path / "metrics.txt"
+        assert main(["slo-check", "--graph", "ci-ws", "--queries", "4",
+                     "--slow-log-out", str(slow),
+                     "--metrics-out", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "SLO check (registry): PASS" in out
+        assert slow.exists()
+        text = metrics.read_text()
+        assert "repro_slo_query_latency_ok 1" in text
+        assert text.rstrip().endswith("# EOF")
+
+    def test_slo_check_injected_breach_exits_1(self, capsys):
+        assert main(["slo-check", "--graph", "ci-ws", "--queries", "4",
+                     "--inject-latency-ms", "10000"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+
+    def test_slo_check_missing_file_exits_2(self, capsys, tmp_path):
+        assert main(["slo-check", str(tmp_path / "nope.toml")]) == 2
+
+    def test_slo_check_summary_mode(self, capsys, tmp_path):
+        import json
+
+        summary = tmp_path / "summary.json"
+        summary.write_text(json.dumps({"histograms": {
+            "service.query_ms": {"count": 8, "p50": 1.0, "p90": 2.0, "p99": 3.0},
+        }}))
+        assert main(["slo-check", "--summary", str(summary)]) == 0
+        out = capsys.readouterr().out
+        assert "SLO check (summary): PASS" in out
+
+    def test_report_filters_by_request(self, capsys, tmp_path):
+        trace = tmp_path / "t.json"
+        assert main(["trace", "ci-ws", "--queries", "2",
+                     "--out", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["report", "--trace", str(trace),
+                     "--request", "q-000002"]) == 0
+        out = capsys.readouterr().out
+        assert "request q-000002" in out
+
+    def test_report_renders_slow_query_section(self, capsys):
+        assert main(["report", "ci-ws", "--stepper", "delta",
+                     "--queries", "2", "--slow-ms", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "## Slow queries" in out
+        assert "q-000001" in out
