@@ -1,0 +1,194 @@
+"""Deterministic, seeded fault plans — the schedule a chaos run replays.
+
+A :class:`FaultPlan` is the single source of randomness for one chaos
+run: step failures, straggler delays, duplicated deliveries, and outbox
+reordering are all drawn from one ``random.Random(seed)``.  Two
+properties make the schedule reproducible and the runs terminating:
+
+- **Serial draws.**  Every draw happens in the coordinator thread —
+  :class:`repro.faults.chaos.ChaosTransport` draws per-step decisions
+  *before* dispatching the wrapped fns and exchange perturbations
+  *before* the flush — so the schedule depends only on ``(seed, call
+  sequence)``, never on thread interleaving.  (The lock is a belt for
+  embedders that share a plan across transports; the stepper itself is
+  single-coordinator.)
+- **A failure budget.**  ``max_failures`` caps the injected step
+  failures over the plan's lifetime.  Retried and re-executed steps
+  draw fresh decisions, so without the cap an adversarial rate could
+  starve a retry loop forever; with it, every run reaches quiescence.
+
+Injected failures raise :class:`FaultInjected` *instead of* running the
+step body (fail-stop before any write), which is what makes a plain
+re-run of the failed step sound — see the chaos module docstring.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+__all__ = ["FaultInjected", "FaultPlan"]
+
+
+class FaultInjected(RuntimeError):
+    """Raised by a chaos transport in place of an injected-failure step."""
+
+
+class FaultPlan:
+    """A seeded schedule of injected faults (see module docstring).
+
+    Parameters
+    ----------
+    seed:
+        The RNG seed; two plans with equal parameters produce identical
+        schedules for identical draw sequences.
+    fail_rate:
+        Per shard-step probability of raising :class:`FaultInjected`
+        instead of running the step (capped by *max_failures*).
+    delay_ms:
+        Maximum straggler sleep injected before a step body; the actual
+        delay is uniform in ``[0, delay_ms)``.
+    delay_rate:
+        Per shard-step probability of injecting a straggler delay
+        (only meaningful when ``delay_ms > 0``).
+    dup_rate:
+        Per-outbox, per-superstep probability of duplicating its pending
+        deliveries into a (seeded-randomly chosen) outbox.
+    reorder_rate:
+        Per-superstep probability of shuffling the outbox delivery
+        order before the flush.
+    max_failures:
+        Lifetime cap on injected step failures — the termination budget.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        fail_rate: float = 0.0,
+        delay_ms: float = 0.0,
+        delay_rate: float = 0.25,
+        dup_rate: float = 0.0,
+        reorder_rate: float = 0.0,
+        max_failures: int = 64,
+    ) -> None:
+        for knob, value in (
+            ("fail_rate", fail_rate),
+            ("delay_rate", delay_rate),
+            ("dup_rate", dup_rate),
+            ("reorder_rate", reorder_rate),
+        ):
+            if not 0.0 <= float(value) <= 1.0:
+                raise ValueError(f"{knob} must be in [0, 1], got {value!r}")
+        if delay_ms < 0:
+            raise ValueError(f"delay_ms must be >= 0, got {delay_ms!r}")
+        if max_failures < 0:
+            raise ValueError(f"max_failures must be >= 0, got {max_failures!r}")
+        self.seed = int(seed)
+        self.fail_rate = float(fail_rate)
+        self.delay_ms = float(delay_ms)
+        self.delay_rate = float(delay_rate)
+        self.dup_rate = float(dup_rate)
+        self.reorder_rate = float(reorder_rate)
+        self.max_failures = int(max_failures)
+        self._lock = threading.Lock()
+        self._rng = random.Random(self.seed)
+        self.failures_injected = 0
+        self.delays_injected = 0
+        self.dups_injected = 0
+        self.reorders_injected = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Re-seed and zero the injection counters (fresh run, same plan)."""
+        with self._lock:
+            self._rng = random.Random(self.seed)
+            self.failures_injected = 0
+            self.delays_injected = 0
+            self.dups_injected = 0
+            self.reorders_injected = 0
+
+    @property
+    def injected(self) -> int:
+        """Total injections of every kind so far."""
+        return (
+            self.failures_injected
+            + self.delays_injected
+            + self.dups_injected
+            + self.reorders_injected
+        )
+
+    # -- draws (all serial; see module docstring) ----------------------------
+
+    def draw_step(self, shard: int) -> tuple[bool, float]:
+        """One shard-step's fate: ``(inject_failure, delay_ms)``.
+
+        *shard* is informational (kept for symmetry with the exchange
+        draws); the decision comes from the serial draw sequence alone.
+        """
+        with self._lock:
+            fail = (
+                self.fail_rate > 0.0
+                and self.failures_injected < self.max_failures
+                and self._rng.random() < self.fail_rate
+            )
+            if fail:
+                self.failures_injected += 1
+            delay = 0.0
+            if self.delay_ms > 0.0 and self._rng.random() < self.delay_rate:
+                delay = self._rng.random() * self.delay_ms
+                self.delays_injected += 1
+            return fail, delay
+
+    def draw_duplications(self, num_outboxes: int) -> list[tuple[int, int]]:
+        """Per-superstep duplicate-delivery draws: ``(src, dst)`` outbox
+        pairs whose pending entries should be re-posted (``src == dst``
+        is a legal duplicate — it re-delivers within one box)."""
+        if self.dup_rate <= 0.0 or num_outboxes == 0:
+            return []
+        with self._lock:
+            pairs = [
+                (src, self._rng.randrange(num_outboxes))
+                for src in range(num_outboxes)
+                if self._rng.random() < self.dup_rate
+            ]
+            self.dups_injected += len(pairs)
+            return pairs
+
+    def draw_reorder(self, num_outboxes: int) -> list[int] | None:
+        """Per-superstep reorder draw: a delivery-order permutation, or
+        ``None`` to leave the order alone."""
+        if self.reorder_rate <= 0.0 or num_outboxes < 2:
+            return None
+        with self._lock:
+            if self._rng.random() >= self.reorder_rate:
+                return None
+            perm = list(range(num_outboxes))
+            self._rng.shuffle(perm)
+            self.reorders_injected += 1
+            return perm
+
+    # -- reporting -----------------------------------------------------------
+
+    def as_dict(self) -> dict[str, float | int]:
+        """Parameters + injection counters, for harness reports."""
+        return {
+            "seed": self.seed,
+            "fail_rate": self.fail_rate,
+            "delay_ms": self.delay_ms,
+            "delay_rate": self.delay_rate,
+            "dup_rate": self.dup_rate,
+            "reorder_rate": self.reorder_rate,
+            "max_failures": self.max_failures,
+            "failures_injected": self.failures_injected,
+            "delays_injected": self.delays_injected,
+            "dups_injected": self.dups_injected,
+            "reorders_injected": self.reorders_injected,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FaultPlan<seed={self.seed}, fail={self.fail_rate}, "
+            f"delay={self.delay_ms}ms@{self.delay_rate}, dup={self.dup_rate}, "
+            f"reorder={self.reorder_rate}, injected={self.injected}>"
+        )

@@ -19,13 +19,14 @@ and :mod:`repro.parallel.partition` the chunking/balancing helpers.
 """
 
 from .partition import chunk_ranges, balanced_partition
-from .pool import WorkerPool, get_pool, parallel_map
+from .pool import BatchError, WorkerPool, get_pool, parallel_map
 from .simulate import SimulatedExecutor, simulate_makespan
 from .tasks import Task, TaskGraph, run_task_graph
 
 __all__ = [
     "chunk_ranges",
     "balanced_partition",
+    "BatchError",
     "WorkerPool",
     "get_pool",
     "parallel_map",

@@ -16,10 +16,46 @@ import threading
 from concurrent.futures import ThreadPoolExecutor, wait
 from typing import Callable, Iterable, Sequence
 
-__all__ = ["WorkerPool", "get_pool", "parallel_map", "shutdown_all_pools"]
+__all__ = ["BatchError", "WorkerPool", "get_pool", "parallel_map", "shutdown_all_pools"]
 
 _POOLS: dict[int, "WorkerPool"] = {}
 _POOLS_LOCK = threading.Lock()
+
+#: how many per-task errors the aggregate message spells out verbatim
+_MAX_NAMED_FAILURES = 4
+
+
+class BatchError(RuntimeError):
+    """Aggregate failure of one task batch, every failed task named.
+
+    A batch is a barrier of *independent* tasks (one per shard in the
+    sharded stepper), so raising the first exception blind would discard
+    the sibling results and hide simultaneous failures.  Instead the
+    whole batch runs to the barrier and this error collects:
+
+    - ``failures`` — ``(index, exception)`` per failed task, ascending
+      by index (for shard batches the index *is* the shard id);
+    - ``results`` — the full results list with ``None`` at failed slots,
+      so a retrying caller can keep the completed work and re-run only
+      the failed indices.
+    """
+
+    def __init__(self, failures, results):
+        self.failures: list = list(failures)
+        self.results: list = list(results)
+        named = "; ".join(
+            f"[{i}] {type(exc).__name__}: {exc}"
+            for i, exc in self.failures[:_MAX_NAMED_FAILURES]
+        )
+        if len(self.failures) > _MAX_NAMED_FAILURES:
+            named += f"; … {len(self.failures) - _MAX_NAMED_FAILURES} more"
+        super().__init__(
+            f"{len(self.failures)}/{len(self.results)} tasks failed: {named}"
+        )
+
+    @property
+    def failed_indices(self) -> list[int]:
+        return [i for i, _ in self.failures]
 
 
 class WorkerPool:
@@ -49,14 +85,37 @@ class WorkerPool:
     def run_batch(self, fns: Sequence[Callable[[], object]]) -> list[object]:
         """Execute a batch of zero-argument tasks; returns their results in
         submission order.  Blocks until all complete (a task barrier —
-        ``#pragma omp taskwait``)."""
+        ``#pragma omp taskwait``).
+
+        Tasks are independent, so one failure does not cancel the rest:
+        every task runs to the barrier, and if any raised, a
+        :class:`BatchError` aggregates all of them by task index (with
+        the completed siblings' results attached for retrying callers).
+        """
         if self._closed:
             raise RuntimeError("WorkerPool is shut down")
+        results: list[object] = []
+        failures: list[tuple[int, BaseException]] = []
         if self._executor is None or len(fns) <= 1:
-            return [fn() for fn in fns]
-        futures = [self._executor.submit(fn) for fn in fns]
-        wait(futures)
-        return [f.result() for f in futures]
+            for i, fn in enumerate(fns):
+                try:
+                    results.append(fn())
+                except Exception as exc:
+                    results.append(None)
+                    failures.append((i, exc))
+        else:
+            futures = [self._executor.submit(fn) for fn in fns]
+            wait(futures)
+            for i, f in enumerate(futures):
+                exc = f.exception()
+                if exc is None:
+                    results.append(f.result())
+                else:
+                    results.append(None)
+                    failures.append((i, exc))
+        if failures:
+            raise BatchError(failures, results)
+        return results
 
     def map_chunks(self, fn: Callable, chunks: Iterable[tuple[int, int]]) -> list[object]:
         """Run ``fn(lo, hi)`` for each chunk in parallel."""

@@ -29,6 +29,12 @@ import numpy as np
 
 from ..dynamic.incremental import repair_sssp
 from ..dynamic.mutations import AppliedUpdates, apply_edge_updates
+from ..faults.breaker import (
+    BREAKER_STATE_CODES,
+    CircuitBreaker,
+    CircuitOpenError,
+    MutationShedError,
+)
 from ..graphs.graph import Graph
 from ..obs.flight import FlightRecorder, SlowQueryLog
 from ..sssp.delta import choose_delta
@@ -47,7 +53,10 @@ class QueryResponse:
     ``distance`` is filled for point queries, ``distances`` (full vector)
     for one-to-many.  ``exact`` is False only for landmark estimates, in
     which case ``distance`` carries the admissible upper bound and
-    ``bounds`` the full interval.
+    ``bounds`` the full interval.  ``degraded`` marks the subset of
+    approximate answers that the circuit breaker forced (the planner
+    wanted an exact solve, but the solver is failing); ``deadline_missed``
+    marks answers delivered after the query's latency deadline.
     """
 
     query: Query
@@ -57,6 +66,8 @@ class QueryResponse:
     from_cache: bool = False
     latency_ms: float = 0.0
     bounds: tuple[float, float] | None = None
+    degraded: bool = False
+    deadline_missed: bool = False
 
 
 @dataclass(frozen=True)
@@ -98,6 +109,11 @@ class ServiceStats:
     throughput_qps: float
     mutations_applied: int = 0
     entries_repaired: int = 0
+    degraded_answers: int = 0
+    deadline_misses: int = 0
+    mutations_shed: int = 0
+    breaker_state: str = "none"
+    breaker_trips: int = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -167,6 +183,27 @@ class QueryService:
         A pre-built :class:`repro.obs.SlowQueryLog` to append into
         (overrides *slow_query_ms*; pass a shared instance to pool
         across services).
+    breaker:
+        Optional :class:`repro.faults.CircuitBreaker` guarding the
+        exact-solve path.  While open, exact solves for non-cached
+        sources degrade to landmark upper bounds (responses carry
+        ``degraded=True``) — or raise
+        :class:`~repro.faults.CircuitOpenError` when the service has no
+        landmark index — and :meth:`mutate` sheds its batch with
+        :class:`~repro.faults.MutationShedError` (a failed mid-repair
+        mutation while the solver is flaky is worse than a stale epoch).
+        Breaker state is surfaced in :meth:`stats` and, with a recorder,
+        as the ``service.degraded`` / ``service.breaker_state`` gauges.
+    default_deadline_ms:
+        Deadline stamped onto queries submitted without
+        ``max_latency_ms``.  Deadlines steer the planner toward
+        approximate answers and mark late responses
+        ``deadline_missed=True`` (counted in :meth:`stats`).
+    solver:
+        The batch solver callable (defaults to
+        :func:`repro.service.batch.batch_delta_stepping`); injectable so
+        the chaos harness and tests can make the exact path fail on
+        demand.  Same signature and result contract as the default.
     """
 
     def __init__(
@@ -186,6 +223,9 @@ class QueryService:
         recorder=None,
         slow_query_ms: float | None = None,
         slow_query_log: SlowQueryLog | None = None,
+        breaker: CircuitBreaker | None = None,
+        default_deadline_ms: float | None = None,
+        solver=None,
     ):
         self.graph = graph
         self.weight_mode = weight_mode
@@ -222,6 +262,13 @@ class QueryService:
             tuner = AutoTuner()
         self.tuner = tuner
         self.batch_method = batch_method
+        self.breaker = breaker
+        if default_deadline_ms is not None and default_deadline_ms <= 0:
+            raise ValueError(
+                f"default_deadline_ms must be positive, got {default_deadline_ms}"
+            )
+        self.default_deadline_ms = default_deadline_ms
+        self._solver = solver if solver is not None else batch_delta_stepping
         self._pending: list[Query] = []
         self._request_seq = 0
         self._last_plan: QueryPlan | None = None
@@ -233,6 +280,9 @@ class QueryService:
         self._sources_solved = 0
         self._mutations = 0
         self._entries_repaired = 0
+        self._degraded = 0
+        self._deadline_misses = 0
+        self._mutations_shed = 0
 
     # -- request intake ----------------------------------------------------
 
@@ -252,6 +302,8 @@ class QueryService:
         if query.request_id is None:
             self._request_seq += 1
             query = replace(query, request_id=f"q-{self._request_seq:06d}")
+        if query.max_latency_ms is None and self.default_deadline_ms is not None:
+            query = replace(query, max_latency_ms=self.default_deadline_ms)
         self._pending.append(query)
         return len(self._pending) - 1
 
@@ -385,46 +437,90 @@ class QueryService:
         # invalidate an answer already in hand)
         cached_set = set(plan.cached)
         solved = dict(plan.cached)
-        solved.update(self._execute(plan))
+        exact_solved, degraded = self._execute(plan)
+        solved.update(exact_solved)
         elapsed_ms = (time.perf_counter() - t0) * 1e3
         self._serving_seconds += elapsed_ms / 1e3
 
         # Synchronous round: every query in it observes the round's latency.
         per_query_ms = elapsed_ms
         approx_set = set(plan.approximate)
+        degraded_set = set(degraded)
         responses = []
+        deadline_misses = 0
         for q in queries:
             s = int(q.source)
             self._latencies_ms.append(per_query_ms)
-            if s in approx_set:
-                responses.append(self._answer_approximate(q, per_query_ms))
-                continue
-            responses.append(
-                self._answer_exact(
+            if s in degraded_set and s not in cached_set:
+                resp = self._answer_approximate(q, per_query_ms, degraded=True)
+            elif s in approx_set:
+                resp = self._answer_approximate(q, per_query_ms)
+            else:
+                resp = self._answer_exact(
                     q, solved[s], from_cache=s in cached_set, latency_ms=per_query_ms
                 )
-            )
+            if q.max_latency_ms is not None and per_query_ms > q.max_latency_ms:
+                resp = replace(resp, deadline_missed=True)
+                deadline_misses += 1
+            responses.append(resp)
+        if deadline_misses:
+            self._deadline_misses += deadline_misses
+            if rec is not None:
+                rec.inc("service.deadline_misses", deadline_misses)
+        self._update_breaker_gauges()
         return responses
 
-    def _execute(self, plan: QueryPlan) -> dict[int, np.ndarray]:
-        """Run the plan's batch solves; returns source → distance vector."""
+    def _execute(self, plan: QueryPlan) -> tuple[dict[int, np.ndarray], list[int]]:
+        """Run the plan's batch solves; returns (source → distances, degraded).
+
+        With a breaker attached, a batch whose solve fails (or arrives
+        while the breaker is open) falls back to landmark answers: its
+        sources are returned in the *degraded* list instead of being
+        solved.  Without landmarks the failure propagates — there is
+        nothing to degrade to.
+        """
         solved: dict[int, np.ndarray] = {}
+        degraded: list[int] = []
         rec = self.recorder
         method = plan.stepper or self.batch_method
+        breaker = self.breaker
         for batch in plan.batches:
-            t0 = time.perf_counter()
-            if rec is not None:
-                with rec.span(
-                    "service:batch-solve", batch=len(batch), method=str(method)
-                ):
-                    result = batch_delta_stepping(
-                        self.graph, batch, delta=self.delta, method=method,
-                        recorder=rec,
+            if breaker is not None and not breaker.allow():
+                if self.landmarks is None:
+                    raise CircuitOpenError(
+                        "exact solve refused: circuit breaker is open and the "
+                        "service has no landmark index to degrade to"
                     )
-            else:
-                result = batch_delta_stepping(
-                    self.graph, batch, delta=self.delta, method=method
-                )
+                degraded.extend(int(s) for s in batch)
+                if rec is not None:
+                    rec.inc("service.breaker_rejections", len(batch))
+                continue
+            t0 = time.perf_counter()
+            try:
+                if rec is not None:
+                    with rec.span(
+                        "service:batch-solve", batch=len(batch), method=str(method)
+                    ):
+                        result = self._solver(
+                            self.graph, batch, delta=self.delta, method=method,
+                            recorder=rec,
+                        )
+                else:
+                    result = self._solver(
+                        self.graph, batch, delta=self.delta, method=method
+                    )
+            except Exception:
+                if breaker is None:
+                    raise
+                breaker.record_failure()
+                if rec is not None:
+                    rec.inc("service.solver_failures")
+                if self.landmarks is None:
+                    raise
+                degraded.extend(int(s) for s in batch)
+                continue
+            if breaker is not None:
+                breaker.record_success()
             self.planner.record_solve(
                 len(batch), (time.perf_counter() - t0) * 1e3
             )
@@ -434,7 +530,7 @@ class QueryService:
                 solved[int(s)] = self.cache.put(
                     self.graph, int(s), self.weight_mode, result.distances[k]
                 )
-        return solved
+        return solved, degraded
 
     def _answer_exact(self, q: Query, dist: np.ndarray, from_cache: bool, latency_ms: float) -> QueryResponse:
         self._exact += 1
@@ -448,8 +544,15 @@ class QueryService:
             from_cache=from_cache, latency_ms=latency_ms,
         )
 
-    def _answer_approximate(self, q: Query, latency_ms: float) -> QueryResponse:
+    def _answer_approximate(
+        self, q: Query, latency_ms: float, degraded: bool = False
+    ) -> QueryResponse:
         self._approximate += 1
+        if degraded:
+            self._degraded += 1
+            rec = self.recorder
+            if rec is not None:
+                rec.inc("service.degraded_answers")
         self.landmarks.ensure_fresh()  # lazy rebuild after mutations
         if q.target is None:
             # one-to-many: upper bounds to every vertex via the landmarks
@@ -460,11 +563,13 @@ class QueryService:
             ub[q.source] = 0.0
             return QueryResponse(
                 query=q, distances=ub, exact=False, latency_ms=latency_ms,
+                degraded=degraded,
             )
         est = self.landmarks.estimate(q.source, q.target)
         return QueryResponse(
             query=q, distance=est.upper, exact=False,
             latency_ms=latency_ms, bounds=(est.lower, est.upper),
+            degraded=degraded,
         )
 
     # -- mutation ----------------------------------------------------------
@@ -495,7 +600,26 @@ class QueryService:
         on the next approximate answer; the planner's calibrated cost
         model resets.  Pending (submitted, undrained) queries are
         answered against the post-mutation graph.
+
+        With an *open* circuit breaker attached, the batch is shed with
+        :class:`~repro.faults.MutationShedError` before anything is
+        touched: while the solver is failing, a repair that dies
+        mid-flight would only widen the blast radius, and the current
+        epoch snapshot can still answer.  If a repair *does* fail
+        mid-flight, the graph, epoch, Δ, and cache are rolled back to
+        the pre-mutation snapshot before the error propagates.
         """
+        breaker = self.breaker
+        if breaker is not None and not breaker.allow_mutation():
+            self._mutations_shed += 1
+            shed_rec = self.recorder
+            if shed_rec is not None:
+                shed_rec.inc("service.mutations_shed")
+            raise MutationShedError(
+                "mutation shed: circuit breaker is open — the service keeps "
+                "answering from the current epoch snapshot; retry after the "
+                "breaker closes"
+            )
         rec = self.recorder
         if rec is None:
             return self._mutate(inserts, deletes, reweights, repair, strict)
@@ -516,6 +640,15 @@ class QueryService:
         if repair not in ("hot", "drop"):
             raise ValueError(f"unknown repair policy {repair!r}; known: hot, drop")
         harvested = self.cache.take_entries(self.graph)
+        # weights are the one array mutations may edit in place (pure
+        # reweights); indptr/indices are only ever replaced wholesale
+        snapshot = (
+            self.graph.indptr,
+            self.graph.indices,
+            self.graph.weights.copy(),
+            self.graph.epoch,
+            self.delta,
+        )
         try:
             applied = apply_edge_updates(
                 self.graph, inserts=inserts, deletes=deletes, reweights=reweights, strict=strict
@@ -529,15 +662,23 @@ class QueryService:
         if self._delta_auto:
             self.delta = choose_delta(self.graph)
         repaired = 0
-        for (source, wmode), dist in harvested.items():
-            if repair != "hot" or wmode != self.weight_mode:
-                continue
-            result = repair_sssp(
-                self.graph, source, dist, applied, delta=self.delta,
-                recorder=self.recorder,
-            )
-            self.cache.put(self.graph, source, wmode, result.distances)
-            repaired += 1
+        try:
+            for (source, wmode), dist in harvested.items():
+                if repair != "hot" or wmode != self.weight_mode:
+                    continue
+                result = repair_sssp(
+                    self.graph, source, dist, applied, delta=self.delta,
+                    recorder=self.recorder,
+                )
+                self.cache.put(self.graph, source, wmode, result.distances)
+                repaired += 1
+        except Exception:
+            # mid-repair failure: the epoch already advanced and some
+            # entries were re-put under it — rewind everything to the
+            # pre-mutation snapshot so the service keeps answering
+            # exactly what it answered before the call
+            self._rollback_mutation(snapshot, harvested)
+            raise
         if self.landmarks is not None:
             self.landmarks.mark_stale()
         self.planner.note_mutation()
@@ -549,6 +690,31 @@ class QueryService:
             dropped_entries=len(harvested) - repaired,
             epoch=self.graph.epoch,
         )
+
+    def _rollback_mutation(self, snapshot, harvested) -> None:
+        """Rewind a mid-repair mutation failure to the pre-mutation state.
+
+        Restores the CSR arrays, epoch, and Δ from *snapshot*, drops
+        anything cached under the aborted epoch (including partially
+        repaired entries this call re-put), clears derived ``meta``
+        caches built against the aborted arrays, and re-inserts the
+        *harvested* pre-mutation entries — so every source that answered
+        from cache before the call still does, with identical vectors.
+        """
+        indptr, indices, weights, epoch, delta = snapshot
+        g = self.graph
+        # evict the aborted epoch's entries before rewinding the counter
+        # (afterwards they would key as current and shadow the snapshot)
+        self.cache.take_entries(g)
+        g.indptr = indptr
+        g.indices = indices
+        g.weights = weights
+        g.epoch = epoch
+        self.delta = delta
+        for key in [k for k in g.meta if isinstance(k, str) and k.startswith("_")]:
+            del g.meta[key]
+        for (source, wmode), dist in harvested.items():
+            self.cache.put(g, source, wmode, dist)
 
     # -- maintenance & reporting -------------------------------------------
 
@@ -577,6 +743,7 @@ class QueryService:
             )
         served = self._exact + self._approximate
         qps = served / self._serving_seconds if self._serving_seconds > 0 else 0.0
+        breaker = self.breaker
         return ServiceStats(
             queries_served=served,
             exact_answers=self._exact,
@@ -590,7 +757,22 @@ class QueryService:
             throughput_qps=qps,
             mutations_applied=self._mutations,
             entries_repaired=self._entries_repaired,
+            degraded_answers=self._degraded,
+            deadline_misses=self._deadline_misses,
+            mutations_shed=self._mutations_shed,
+            breaker_state=breaker.state if breaker is not None else "none",
+            breaker_trips=breaker.trips if breaker is not None else 0,
         )
+
+    def _update_breaker_gauges(self) -> None:
+        """Refresh ``service.degraded`` / ``service.breaker_state`` gauges."""
+        rec = self.recorder
+        breaker = self.breaker
+        if rec is None or breaker is None:
+            return
+        state = breaker.state
+        rec.set_gauge("service.degraded", 1.0 if state != "closed" else 0.0)
+        rec.set_gauge("service.breaker_state", float(BREAKER_STATE_CODES[state]))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

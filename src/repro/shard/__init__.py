@@ -53,7 +53,9 @@ from .exchange import (
     PoolTransport,
     TRANSPORTS,
     Transport,
+    TransportFailure,
     make_transport,
+    parse_transport_spec,
 )
 from .partition import (
     PARTITIONERS,
@@ -83,10 +85,12 @@ __all__ = [
     "Outbox",
     "FrontierExchange",
     "Transport",
+    "TransportFailure",
     "InProcessTransport",
     "PoolTransport",
     "TRANSPORTS",
     "make_transport",
+    "parse_transport_spec",
     "ShardedDeltaStepper",
     "sharded_delta_stepping",
     "default_num_shards",

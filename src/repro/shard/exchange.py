@@ -26,7 +26,10 @@ Transports decide *where* the per-shard step functions run:
 dependencies), :class:`PoolTransport` fans them out on a
 :class:`repro.parallel.pool.WorkerPool` (NumPy kernels release the GIL,
 so shard steps genuinely overlap).  A multi-machine transport slots in
-by implementing the same two-method surface.
+by implementing the same surface — and the :mod:`repro.faults` wrapper
+transports (``chaos`` fault injection, ``resilient`` retry/backoff)
+compose over any of them, which is how crash/retry correctness is
+proven before real sockets arrive.
 """
 
 from __future__ import annotations
@@ -39,7 +42,7 @@ import numpy as np
 from numpy.typing import NDArray
 
 from ..kernels import min_by_target
-from ..parallel.pool import WorkerPool, get_pool
+from ..parallel.pool import BatchError, WorkerPool, get_pool
 from ..sssp.result import INF
 
 __all__ = [
@@ -47,10 +50,14 @@ __all__ = [
     "Outbox",
     "FrontierExchange",
     "Transport",
+    "TransportFailure",
     "InProcessTransport",
     "PoolTransport",
     "TRANSPORTS",
     "make_transport",
+    "parse_transport_spec",
+    "spec_int",
+    "spec_float",
 ]
 
 #: bytes a wire transport would pay per delivered entry: one int64
@@ -115,6 +122,29 @@ class ExchangeStats:
             }
         )
 
+    def state(self) -> tuple[int, int, int, int, int]:
+        """Snapshot for the stepper's superstep checkpoints: the four
+        aggregates plus the ledger length (rounds after it are the ones
+        a recovery re-executes)."""
+        return (
+            self.exchanges,
+            self.entries_posted,
+            self.entries_carried,
+            self.entries_applied,
+            len(self.rounds),
+        )
+
+    def restore(self, state: tuple[int, int, int, int, int]) -> None:
+        """Rewind to a :meth:`state` snapshot, truncating the per-round
+        ledger — re-executed supersteps append fresh rows, so the
+        rows-sum-to-aggregates invariant survives recovery."""
+        exchanges, posted, carried, applied, num_rounds = state
+        self.exchanges = exchanges
+        self.entries_posted = posted
+        self.entries_carried = carried
+        self.entries_applied = applied
+        del self.rounds[num_rounds:]
+
     def per_superstep(self) -> list[dict]:
         """Per-flush-round breakdown, in superstep order.
 
@@ -169,6 +199,32 @@ class Outbox:
         self.req[keys] = INF
         self._touched.clear()
         return keys, vals
+
+    def peek(self) -> tuple[NDArray[np.int64], NDArray[np.float64]]:
+        """Non-draining copy of the pending (targets, best candidates).
+
+        The chaos transport's duplicate-delivery injection reads this to
+        re-post a box's pending entries elsewhere; min-combine on
+        delivery makes the duplicates harmless.
+        """
+        if not self._touched:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+        keys = np.unique(np.concatenate(self._touched))
+        return keys, self.req[keys].copy()
+
+    def clear(self) -> None:
+        """Drop the pending candidates without delivering them.
+
+        The stepper's checkpoint-restore path calls this on every box: a
+        rolled-back superstep's posts must not leak into the
+        re-execution (they would be harmless min-candidates, but the
+        communication counters would double-count them).
+        """
+        if self._touched:
+            keys = np.unique(np.concatenate(self._touched))
+            self.req[keys] = INF
+            self._touched.clear()
+        self.posted = 0
 
     def __bool__(self) -> bool:
         return bool(self._touched)
@@ -226,9 +282,45 @@ class FrontierExchange:
         self.stats.record_round(posted, carried, len(keys))
         return keys
 
+    def clear_pending(self) -> None:
+        """Drop every outbox's pending candidates (checkpoint restore).
+
+        Safe to call after a failed superstep: every transport is a
+        barrier (results or failures are collected before ``run``
+        returns), so no shard step is still writing when the stepper
+        rolls back.
+        """
+        for box in self.outboxes:
+            box.clear()
+
+
+class TransportFailure(RuntimeError):
+    """A transport could not complete a superstep's shard steps.
+
+    The transport-level failure signal (as opposed to
+    :class:`repro.parallel.pool.BatchError`, which attributes individual
+    task exceptions): retry exhaustion, a lost remote peer, a
+    superstep-deadline miss.  The sharded stepper treats both the same
+    way — restore the last checkpoint and re-execute, or abort when no
+    checkpoint (or no restore budget) remains.
+    """
+
 
 class Transport(ABC):
-    """Where per-shard step functions execute (a barrier per round)."""
+    """Where per-shard step functions execute (a barrier per round).
+
+    Failure contract: ``run`` either returns every fn's result or raises
+    — :class:`~repro.parallel.pool.BatchError` with per-task attribution
+    when individual steps failed, or :class:`TransportFailure` for
+    transport-level conditions (retry exhaustion, deadline).  Partial
+    results never escape silently.
+
+    Wrapper transports (:mod:`repro.faults`) layer on two optional
+    hooks, both no-ops here: :meth:`bind_recorder` attaches a telemetry
+    recorder, and :meth:`before_flush` runs once per superstep between
+    the step barrier and the exchange delivery (where chaos wrappers
+    duplicate/reorder pending deliveries).
+    """
 
     name: str = "?"
 
@@ -237,17 +329,43 @@ class Transport(ABC):
         """Execute the zero-argument *fns*, one per shard; barrier until
         all complete, results in submission order."""
 
+    def bind_recorder(self, recorder: Any) -> None:
+        """Attach a :class:`repro.obs.Recorder` for transport-level
+        counters (``faults.*`` / ``retry.*``); the base transports have
+        nothing to record."""
+
+    def before_flush(self, exchange: "FrontierExchange") -> None:
+        """Per-superstep hook right before *exchange* delivers; wrapper
+        transports perturb pending deliveries here."""
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Transport<{self.name}>"
 
 
 class InProcessTransport(Transport):
-    """Sequential in-process execution — the deterministic reference."""
+    """Sequential in-process execution — the deterministic reference.
+
+    Carries the same failure contract as the pool: every fn runs to the
+    (trivial) barrier, and failures aggregate into one
+    :class:`~repro.parallel.pool.BatchError` instead of the first
+    exception aborting the batch mid-way — so retry wrappers see
+    identical semantics on every transport.
+    """
 
     name = "inline"
 
     def run(self, fns: Sequence[Callable[[], Any]]) -> list[Any]:
-        return [fn() for fn in fns]
+        results: list[Any] = []
+        failures: list[tuple[int, BaseException]] = []
+        for i, fn in enumerate(fns):
+            try:
+                results.append(fn())
+            except Exception as exc:
+                results.append(None)
+                failures.append((i, exc))
+        if failures:
+            raise BatchError(failures, results)
+        return results
 
 
 class PoolTransport(Transport):
@@ -268,14 +386,146 @@ class PoolTransport(Transport):
         return result
 
 
+def spec_int(
+    value: Any, spec: str, knob: str, minimum: int | None = None
+) -> int:
+    """Parse an integer knob from a transport spec, naming the offending
+    spec string on failure (a bare ``invalid literal`` ten frames down
+    is useless when the spec came from a CLI flag or a stepper spec)."""
+    try:
+        parsed = int(str(value).strip())
+    except ValueError:
+        raise ValueError(
+            f"transport spec {spec!r}: {knob} must be an integer, got {value!r}"
+        ) from None
+    if minimum is not None and parsed < minimum:
+        raise ValueError(
+            f"transport spec {spec!r}: {knob} must be >= {minimum}, got {parsed}"
+        )
+    return parsed
+
+
+def spec_float(
+    value: Any,
+    spec: str,
+    knob: str,
+    lo: float | None = None,
+    hi: float | None = None,
+) -> float:
+    """Parse a float knob from a transport spec; same naming contract as
+    :func:`spec_int`, with an optional inclusive ``[lo, hi]`` range."""
+    try:
+        parsed = float(str(value).strip())
+    except ValueError:
+        raise ValueError(
+            f"transport spec {spec!r}: {knob} must be a number, got {value!r}"
+        ) from None
+    if (lo is not None and parsed < lo) or (hi is not None and parsed > hi):
+        bounds = f"[{lo if lo is not None else '-inf'}, {hi if hi is not None else 'inf'}]"
+        raise ValueError(
+            f"transport spec {spec!r}: {knob} must be in {bounds}, got {parsed}"
+        )
+    return parsed
+
+
+def parse_transport_spec(spec: str) -> tuple[str, str | None, dict[str, str]]:
+    """Split a transport spec into ``(name, positional arg, params)``.
+
+    Three accepted shapes: bare ``"name"``, colon ``"name:arg"``, and
+    parameterized ``"name(key=value,...)"`` — the last is what wrapper
+    transports use, and values may themselves contain colons
+    (``chaos(inner=threads:4,seed=7)``) but not commas or parentheses
+    (one nesting level: wrap a wrapper by constructing it in code).
+    """
+    text = str(spec).strip()
+    if "(" in text:
+        name, _, rest = text.partition("(")
+        if not rest.endswith(")"):
+            raise ValueError(f"malformed transport spec {spec!r}: missing ')'")
+        params: dict[str, str] = {}
+        body = rest[:-1].strip()
+        if body:
+            for item in body.split(","):
+                key, eq, value = item.partition("=")
+                if not eq or not key.strip() or not value.strip():
+                    raise ValueError(
+                        f"malformed transport spec {spec!r}: "
+                        f"expected key=value, got {item.strip()!r}"
+                    )
+                params[key.strip()] = value.strip()
+        return name.strip(), None, params
+    name, sep, arg = text.partition(":")
+    return name.strip(), (arg.strip() if sep else None), {}
+
+
+def _reject_unknown_params(spec: str, params: dict[str, str]) -> None:
+    if params:
+        raise ValueError(
+            f"transport spec {spec!r}: unknown parameter(s): "
+            f"{', '.join(sorted(params))}"
+        )
+
+
+def _make_inline(
+    arg: str | None, pool: WorkerPool | None, spec: str, params: dict[str, str]
+) -> Transport:
+    if arg is not None:
+        raise ValueError(f"transport spec {spec!r}: 'inline' takes no argument")
+    _reject_unknown_params(spec, params)
+    return InProcessTransport()
+
+
+def _make_threads(
+    arg: str | None, pool: WorkerPool | None, spec: str, params: dict[str, str]
+) -> Transport:
+    raw = arg if arg is not None else params.pop("n", None)
+    _reject_unknown_params(spec, params)
+    n = spec_int(raw, spec, "thread count", minimum=1) if raw is not None else 4
+    return PoolTransport(pool=pool, num_threads=n)
+
+
+def _make_chaos(
+    arg: str | None, pool: WorkerPool | None, spec: str, params: dict[str, str]
+) -> Transport:
+    if arg is not None:
+        raise ValueError(
+            f"transport spec {spec!r}: 'chaos' takes key=value parameters, "
+            f"e.g. chaos(inner=threads:4,seed=7,fail_rate=0.2)"
+        )
+    from ..faults.chaos import chaos_from_params
+
+    transport: Transport = chaos_from_params(params, pool=pool, spec=spec)
+    return transport
+
+
+def _make_resilient(
+    arg: str | None, pool: WorkerPool | None, spec: str, params: dict[str, str]
+) -> Transport:
+    if arg is not None:
+        raise ValueError(
+            f"transport spec {spec!r}: 'resilient' takes key=value parameters, "
+            f"e.g. resilient(inner=threads:4,attempts=4)"
+        )
+    from ..faults.retry import resilient_from_params
+
+    transport: Transport = resilient_from_params(params, pool=pool, spec=spec)
+    return transport
+
+
 #: transport spec → factory; the discovery surface of
-#: :func:`make_transport` (``threads`` takes an optional thread count,
-#: e.g. ``"threads:8"``).
-TRANSPORTS: dict[str, Callable[..., Transport]] = {
-    "inline": lambda arg=None, pool=None: InProcessTransport(),
-    "threads": lambda arg=None, pool=None: PoolTransport(
-        pool=pool, num_threads=int(arg) if arg else 4
-    ),
+#: :func:`make_transport`.  ``threads`` takes an optional thread count
+#: (``"threads:8"``); ``chaos`` and ``resilient`` are the
+#: :mod:`repro.faults` wrappers (seeded fault injection / retry with
+#: backoff) in parameterized ``name(key=value,...)`` form — their
+#: factories import the faults package on first use, so the registry
+#: names them without a circular import.
+TRANSPORTS: dict[
+    str, Callable[[str | None, "WorkerPool | None", str, dict[str, str]], Transport]
+] = {
+    "inline": _make_inline,
+    "threads": _make_threads,
+    "chaos": _make_chaos,
+    "resilient": _make_resilient,
 }
 
 
@@ -284,18 +534,21 @@ def make_transport(spec: Any = None, pool: WorkerPool | None = None) -> Transpor
 
     ``None`` picks :class:`PoolTransport` when a *pool* is supplied and
     :class:`InProcessTransport` otherwise; strings are ``"inline"``,
-    ``"threads"``, or ``"threads:N"``.  Raises ``ValueError`` naming
-    every registered transport.
+    ``"threads[:N]"``, or the parameterized wrapper forms (see
+    :data:`TRANSPORTS` and :func:`parse_transport_spec`).  Raises
+    ``ValueError`` naming every registered transport on an unknown name,
+    and naming the offending spec string on a bad knob value.
     """
     if isinstance(spec, Transport):
         return spec
     if spec is None:
         return PoolTransport(pool=pool) if pool is not None else InProcessTransport()
-    name, _, arg = str(spec).partition(":")
+    text = str(spec)
+    name, arg, params = parse_transport_spec(text)
     try:
         factory = TRANSPORTS[name]
     except KeyError:
         raise ValueError(
-            f"unknown transport {spec!r}; known: {', '.join(TRANSPORTS)}"
+            f"unknown transport {text!r}; known: {', '.join(TRANSPORTS)}"
         ) from None
-    return factory(arg or None, pool=pool)
+    return factory(arg, pool, text, dict(params))

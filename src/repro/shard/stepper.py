@@ -36,10 +36,11 @@ import numpy as np
 
 from ..graphs.graph import Graph
 from ..kernels import RelaxWorkspace, check_kernel, min_by_target
+from ..parallel.pool import BatchError
 from ..sssp.result import INF, SSSPResult
 from ..stepping.base import Stepper, new_counters, register_stepper
 from ..stepping.delta_star import default_delta_star
-from .exchange import FrontierExchange, make_transport
+from .exchange import FrontierExchange, TransportFailure, make_transport
 from .partition import PARTITIONERS, ShardedGraph, expand_rows, partition_graph
 
 __all__ = ["ShardedDeltaStepper", "sharded_delta_stepping", "default_num_shards", "sharded_view"]
@@ -112,7 +113,7 @@ class ShardedDeltaStepper(Stepper):
     kind = "sharded"
     description = "partition-parallel delta-stepping, per-step frontier exchange"
     parallel_capable = True
-    spec_param_aliases = {"shards": "num_shards"}
+    spec_param_aliases = {"shards": "num_shards", "checkpoint": "checkpoint_every"}
 
     def solve(
         self,
@@ -126,6 +127,8 @@ class ShardedDeltaStepper(Stepper):
         sharded: ShardedGraph | None = None,
         kernel: str = "auto",
         recorder=None,
+        checkpoint_every: int | None = None,
+        max_restores: int = 8,
     ) -> SSSPResult:
         n = graph.num_vertices
         if not 0 <= source < n:
@@ -140,12 +143,14 @@ class ShardedDeltaStepper(Stepper):
                     graph, dist, active, delta=delta, num_shards=num_shards,
                     partitioner=partitioner, transport=transport, pool=pool,
                     sharded=sharded, kernel=kernel, recorder=recorder,
+                    checkpoint_every=checkpoint_every, max_restores=max_restores,
                 )
         else:
             counters = self.resolve(
                 graph, dist, active, delta=delta, num_shards=num_shards,
                 partitioner=partitioner, transport=transport, pool=pool,
                 sharded=sharded, kernel=kernel,
+                checkpoint_every=checkpoint_every, max_restores=max_restores,
             )
         result = SSSPResult(
             distances=dist,
@@ -174,6 +179,8 @@ class ShardedDeltaStepper(Stepper):
         sharded: ShardedGraph | None = None,
         kernel: str = "auto",
         recorder=None,
+        checkpoint_every: int | None = None,
+        max_restores: int = 8,
     ) -> dict:
         """Run the sharded schedule from a seeded state to quiescence.
 
@@ -182,6 +189,20 @@ class ShardedDeltaStepper(Stepper):
         and ``"comm"`` (the exchange's communication-volume counters) —
         extra keys the framework consumers ignore and the SHARD bench
         reads.
+
+        *checkpoint_every* = K enables superstep checkpointing (spec
+        alias ``checkpoint``): every K supersteps the full superstep
+        state — ``dist``, the active mask, the work counters, and the
+        :class:`~repro.shard.exchange.ExchangeStats` snapshot — is
+        copied, and a recoverable transport failure
+        (:class:`~repro.shard.exchange.TransportFailure` or
+        :class:`~repro.parallel.pool.BatchError`) restores the last
+        checkpoint and re-executes from there instead of aborting, up to
+        *max_restores* times.  Re-execution is exact: the window
+        re-derives from the restored ``dist``/mask, pending outboxes are
+        cleared, and min-combine delivery makes any re-applied work
+        harmless — so recovered runs stay bit-identical to Dijkstra
+        (the chaos harness's headline assertion).
 
         A truthy *recorder* gets three span layers per superstep: one
         ``superstep`` span (window bound, phase count, re-activations),
@@ -217,7 +238,27 @@ class ShardedDeltaStepper(Stepper):
                 raise ValueError("num_shards must be >= 1")
             sg = sharded_view(graph, int(k), partitioner)
 
+        if checkpoint_every is not None:
+            # same knob-naming contract as num_shards: a spec like
+            # "sharded(checkpoint=2.5)" must fail with the knob named
+            if not isinstance(checkpoint_every, (int, np.integer)) or isinstance(
+                checkpoint_every, bool
+            ):
+                raise ValueError(
+                    f"checkpoint_every must be an integer, got {checkpoint_every!r}"
+                )
+            if checkpoint_every < 1:
+                raise ValueError("checkpoint_every must be >= 1")
+            checkpoint_every = int(checkpoint_every)
+        if not isinstance(max_restores, (int, np.integer)) or isinstance(
+            max_restores, bool
+        ):
+            raise ValueError(f"max_restores must be an integer, got {max_restores!r}")
+        if max_restores < 0:
+            raise ValueError("max_restores must be >= 0")
+
         tr = make_transport(transport, pool=pool)
+        tr.bind_recorder(recorder if recorder else None)
         ex = FrontierExchange(sg.num_shards, graph.num_vertices)
         owner = sg.owner
         mask = active.astype(bool, copy=True)
@@ -286,6 +327,21 @@ class ShardedDeltaStepper(Stepper):
                 mask[uts[~in_window]] = True
             return c
 
+        # superstep checkpointing: the snapshot is everything the loop
+        # head reads — dist, the active mask, the scalar work counters,
+        # and the exchange ledger position.  The window itself re-derives
+        # from dist/mask, so it needs no snapshot.
+        def take_checkpoint():
+            return (
+                dist.copy(),
+                mask.copy(),
+                {k: counters[k] for k in ("steps", "phases", "relaxations", "updates")},
+                ex.stats.state(),
+            )
+
+        restores = 0
+        ckpt = take_checkpoint() if checkpoint_every else None
+
         while mask.any():
             peek = float(dist[mask].min())
             if not np.isfinite(peek):
@@ -299,13 +355,35 @@ class ShardedDeltaStepper(Stepper):
                 sspan = recorder.span(
                     "superstep", step=int(counters["steps"]), bound=float(bound)
                 ).__enter__()
-            per_shard = tr.run(
-                [_bind_step(shard_step, shard, bound) for shard in sg.shards]
-            )
+            try:
+                per_shard = tr.run(
+                    [_bind_step(shard_step, shard, bound) for shard in sg.shards]
+                )
+            except (TransportFailure, BatchError):
+                if sspan is not None:
+                    sspan.set(failed=True)
+                    sspan.__exit__(None, None, None)
+                if ckpt is None or restores >= max_restores:
+                    raise
+                # restore-and-re-execute: a failed superstep may have
+                # consumed mask bits, written partial improvements, and
+                # posted partial outbox entries — roll all of it back to
+                # the checkpoint and let the loop re-derive the window
+                restores += 1
+                c_dist, c_mask, c_counters, c_stats = ckpt
+                dist[:] = c_dist
+                mask[:] = c_mask
+                counters.update(c_counters)
+                ex.stats.restore(c_stats)
+                ex.clear_pending()
+                if recorder:
+                    recorder.inc("checkpoint.restores")
+                continue
             for c in per_shard:
                 counters["phases"] += c["phases"]
                 counters["relaxations"] += c["relaxations"]
                 counters["updates"] += c["updates"]
+            tr.before_flush(ex)
             if recorder:
                 pre = ex.stats.as_dict()
                 with recorder.span("exchange", step=int(counters["steps"])) as xspan:
@@ -318,6 +396,10 @@ class ShardedDeltaStepper(Stepper):
             if sspan is not None:
                 sspan.set(phases=counters["phases"] - p0, activated=int(len(incoming)))
                 sspan.__exit__(None, None, None)
+            if checkpoint_every and counters["steps"] % checkpoint_every == 0:
+                ckpt = take_checkpoint()
+                if recorder:
+                    recorder.inc("checkpoint.snapshots")
 
         counters["params"] = {
             "delta": float(delta),
@@ -327,6 +409,8 @@ class ShardedDeltaStepper(Stepper):
             "transport": tr.name,
             "cut_edges": sg.num_cut_edges,
             "cut_fraction": sg.cut_fraction,
+            "checkpoint_every": int(checkpoint_every) if checkpoint_every else 0,
+            "restores": restores,
         }
         if recorder:
             # aggregate counters next to the spans: the serving tier's

@@ -1,12 +1,12 @@
 """The mypy --strict gate over the contract-bearing core modules.
 
-The four gate targets (``repro.kernels``, ``repro.obs``,
-``repro.stepping.base``, ``repro.shard.exchange``) carry the zero-alloc,
-telemetry, spec, and transport contracts the rest of the repo builds on;
-``mypy.ini`` pins the configuration and CI runs the same invocation.
-mypy itself is not baked into the offline image, so the strict run
-skips locally when it is unavailable — the marker/config tests always
-run.
+The gate targets (``repro.kernels``, ``repro.obs``,
+``repro.stepping.base``, ``repro.shard.exchange``, ``repro.faults``)
+carry the zero-alloc, telemetry, spec, transport, and fault-recovery
+contracts the rest of the repo builds on; ``mypy.ini`` pins the
+configuration and CI runs the same invocation.  mypy itself is not
+baked into the offline image, so the strict run skips locally when it
+is unavailable — the marker/config tests always run.
 """
 
 import configparser
@@ -20,6 +20,7 @@ GATE_TARGETS = (
     "src/repro/obs",
     "src/repro/stepping/base.py",
     "src/repro/shard/exchange.py",
+    "src/repro/faults",
 )
 
 

@@ -1,0 +1,103 @@
+"""CircuitBreaker: the closed/open/half-open machine on a fake clock."""
+
+import pytest
+
+from repro.faults import BREAKER_STATE_CODES, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+def make(clock, threshold=3, reset=30.0):
+    return CircuitBreaker(
+        failure_threshold=threshold, reset_after_s=reset, clock=clock
+    )
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self, clock):
+        br = make(clock)
+        assert br.state == "closed"
+        assert br.allow()
+        assert br.allow_mutation()
+
+    def test_trips_after_consecutive_failures(self, clock):
+        br = make(clock, threshold=3)
+        br.record_failure()
+        br.record_failure()
+        assert br.state == "closed"
+        br.record_failure()
+        assert br.state == "open"
+        assert br.trips == 1
+        assert not br.allow()
+        assert not br.allow_mutation()
+
+    def test_success_resets_the_streak(self, clock):
+        br = make(clock, threshold=2)
+        br.record_failure()
+        br.record_success()
+        br.record_failure()
+        assert br.state == "closed"
+
+    def test_cooldown_turns_half_open(self, clock):
+        br = make(clock, threshold=1, reset=10.0)
+        br.record_failure()
+        assert br.state == "open"
+        clock.t = 9.9
+        assert br.state == "open"
+        clock.t = 10.0
+        assert br.state == "half-open"
+        assert br.allow_mutation()  # half-open no longer sheds
+
+    def test_half_open_admits_single_probe(self, clock):
+        br = make(clock, threshold=1, reset=10.0)
+        br.record_failure()
+        clock.t = 10.0
+        assert br.allow()       # the probe
+        assert not br.allow()   # concurrent callers are refused
+        br.record_success()
+        assert br.state == "closed"
+        assert br.allow()
+
+    def test_failed_probe_reopens_and_restarts_cooldown(self, clock):
+        br = make(clock, threshold=3, reset=10.0)
+        for _ in range(3):
+            br.record_failure()
+        clock.t = 10.0
+        assert br.allow()
+        br.record_failure()  # a single half-open failure trips, not threshold
+        assert br.state == "open"
+        assert br.trips == 2
+        clock.t = 19.0
+        assert br.state == "open"
+        clock.t = 20.0
+        assert br.state == "half-open"
+
+    def test_as_dict_and_codes(self, clock):
+        br = make(clock, threshold=1)
+        br.record_failure()
+        d = br.as_dict()
+        assert d["state"] == "open"
+        assert d["state_code"] == BREAKER_STATE_CODES["open"] == 2
+        assert d["trips"] == 1
+        assert set(BREAKER_STATE_CODES) == {"closed", "half-open", "open"}
+
+
+class TestValidation:
+    def test_bad_threshold(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0, clock=clock)
+
+    def test_bad_cooldown(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_after_s=-1.0, clock=clock)

@@ -1,0 +1,84 @@
+"""FaultPlan: seeded determinism, the failure budget, validation."""
+
+import pytest
+
+from repro.faults import FaultPlan
+
+
+def _drain(plan, steps=50, boxes=4):
+    """A fixed draw sequence: step draws then exchange draws."""
+    out = []
+    for i in range(steps):
+        out.append(plan.draw_step(i % boxes))
+    out.append(plan.draw_duplications(boxes))
+    out.append(plan.draw_reorder(boxes))
+    return out
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        kw = dict(seed=11, fail_rate=0.3, delay_ms=1.0, dup_rate=0.4, reorder_rate=0.5)
+        assert _drain(FaultPlan(**kw)) == _drain(FaultPlan(**kw))
+
+    def test_different_seeds_differ(self):
+        kw = dict(fail_rate=0.3, delay_ms=1.0, dup_rate=0.4, reorder_rate=0.5)
+        assert _drain(FaultPlan(seed=1, **kw)) != _drain(FaultPlan(seed=2, **kw))
+
+    def test_reset_replays_identically(self):
+        plan = FaultPlan(seed=3, fail_rate=0.5, dup_rate=0.5, reorder_rate=0.5)
+        first = _drain(plan)
+        counters_first = plan.injected
+        plan.reset()
+        assert plan.injected == 0
+        assert _drain(plan) == first
+        assert plan.injected == counters_first
+
+
+class TestBudget:
+    def test_max_failures_caps_injection(self):
+        plan = FaultPlan(seed=0, fail_rate=1.0, max_failures=5)
+        fails = sum(1 for i in range(100) if plan.draw_step(i)[0])
+        assert fails == 5
+        assert plan.failures_injected == 5
+
+    def test_zero_budget_never_fails(self):
+        plan = FaultPlan(seed=0, fail_rate=1.0, max_failures=0)
+        assert not any(plan.draw_step(i)[0] for i in range(20))
+
+    def test_counters_and_as_dict(self):
+        plan = FaultPlan(seed=1, fail_rate=1.0, dup_rate=1.0, reorder_rate=1.0,
+                         max_failures=2)
+        plan.draw_step(0)
+        plan.draw_duplications(3)
+        plan.draw_reorder(3)
+        d = plan.as_dict()
+        assert d["failures_injected"] == 1
+        assert d["dups_injected"] == 3
+        assert d["reorders_injected"] == 1
+        assert plan.injected == 5
+
+
+class TestDrawShapes:
+    def test_reorder_is_permutation(self):
+        plan = FaultPlan(seed=4, reorder_rate=1.0)
+        perm = plan.draw_reorder(6)
+        assert sorted(perm) == list(range(6))
+
+    def test_reorder_needs_two_boxes(self):
+        assert FaultPlan(seed=4, reorder_rate=1.0).draw_reorder(1) is None
+
+    def test_duplications_target_in_range(self):
+        plan = FaultPlan(seed=5, dup_rate=1.0)
+        for src, dst in plan.draw_duplications(4):
+            assert 0 <= src < 4 and 0 <= dst < 4
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kw", [
+        {"fail_rate": 1.5}, {"fail_rate": -0.1}, {"dup_rate": 2.0},
+        {"reorder_rate": -1.0}, {"delay_rate": 7.0},
+        {"delay_ms": -1.0}, {"max_failures": -1},
+    ])
+    def test_bad_knobs_raise(self, kw):
+        with pytest.raises(ValueError):
+            FaultPlan(**kw)

@@ -1,0 +1,69 @@
+"""BatchError aggregation: every failed task named, siblings preserved."""
+
+import pytest
+
+from repro.parallel.pool import BatchError, WorkerPool
+
+
+def boom(kind, msg):
+    def fn():
+        raise kind(msg)
+
+    return fn
+
+
+def ok(value):
+    return lambda: value
+
+
+@pytest.fixture(params=[1, 3], ids=["serial", "pooled"])
+def pool(request):
+    p = WorkerPool(request.param)
+    yield p
+    p.shutdown()
+
+
+class TestAggregation:
+    def test_two_simultaneous_failures_both_named(self, pool):
+        """The regression: one batch, two failing tasks — raising the
+        first exception blind would hide the second."""
+        with pytest.raises(BatchError) as ei:
+            pool.run_batch([
+                boom(ValueError, "left"), ok("mid"), boom(KeyError, "right"),
+            ])
+        err = ei.value
+        assert err.failed_indices == [0, 2]
+        assert "[0] ValueError: left" in str(err)
+        assert "[2] KeyError: 'right'" in str(err)
+        assert str(err).startswith("2/3 tasks failed")
+
+    def test_completed_siblings_results_are_kept(self, pool):
+        with pytest.raises(BatchError) as ei:
+            pool.run_batch([ok("a"), boom(RuntimeError, "x"), ok("c")])
+        assert ei.value.results == ["a", None, "c"]
+        assert [type(e) for _, e in ei.value.failures] == [RuntimeError]
+
+    def test_all_tasks_run_to_the_barrier(self, pool):
+        ran = []
+        with pytest.raises(BatchError):
+            pool.run_batch([
+                lambda: ran.append(0),
+                boom(ValueError, "x"),
+                lambda: ran.append(2),
+            ])
+        assert sorted(ran) == [0, 2]
+
+    def test_failures_ascend_by_index(self, pool):
+        with pytest.raises(BatchError) as ei:
+            pool.run_batch([boom(ValueError, str(i)) for i in range(6)])
+        assert ei.value.failed_indices == list(range(6))
+
+    def test_long_failure_lists_elide(self, pool):
+        with pytest.raises(BatchError) as ei:
+            pool.run_batch([boom(ValueError, str(i)) for i in range(6)])
+        msg = str(ei.value)
+        assert msg.startswith("6/6 tasks failed")
+        assert "… 2 more" in msg
+
+    def test_clean_batch_raises_nothing(self, pool):
+        assert pool.run_batch([ok(1), ok(2)]) == [1, 2]

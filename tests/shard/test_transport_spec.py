@@ -1,0 +1,77 @@
+"""Transport spec mini-language: parsing shapes and numeric validation."""
+
+import pytest
+
+from repro.shard.exchange import (
+    InProcessTransport,
+    PoolTransport,
+    make_transport,
+    parse_transport_spec,
+)
+
+
+class TestParsing:
+    def test_bare_name(self):
+        assert parse_transport_spec("inline") == ("inline", None, {})
+
+    def test_colon_arg(self):
+        assert parse_transport_spec("threads:8") == ("threads", "8", {})
+
+    def test_paren_params_keep_colons_in_values(self):
+        name, arg, params = parse_transport_spec("chaos(inner=threads:4,seed=7)")
+        assert (name, arg) == ("chaos", None)
+        assert params == {"inner": "threads:4", "seed": "7"}
+
+    def test_whitespace_is_tolerated(self):
+        assert parse_transport_spec("  threads : 8 ") == ("threads", "8", {})
+
+    def test_missing_close_paren(self):
+        with pytest.raises(ValueError, match=r"missing '\)'"):
+            parse_transport_spec("chaos(seed=7")
+
+    def test_non_key_value_item(self):
+        with pytest.raises(ValueError, match="key=value"):
+            parse_transport_spec("chaos(seed)")
+
+
+class TestNumericValidation:
+    @pytest.mark.parametrize("spec", ["threads:0", "threads:-2"])
+    def test_nonpositive_thread_counts_rejected(self, spec):
+        with pytest.raises(ValueError) as ei:
+            make_transport(spec)
+        # the error must name the offending spec, not just the number
+        assert spec in str(ei.value)
+        assert ">= 1" in str(ei.value)
+
+    def test_non_numeric_thread_count_rejected(self):
+        with pytest.raises(ValueError) as ei:
+            make_transport("threads:lots")
+        assert "threads:lots" in str(ei.value)
+        assert "integer" in str(ei.value)
+
+    def test_paren_thread_count(self):
+        tr = make_transport("threads(n=2)")
+        assert isinstance(tr, PoolTransport)
+        assert tr.pool.num_threads == 2
+
+    def test_paren_thread_count_validates_too(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            make_transport("threads(n=0)")
+
+
+class TestRegistry:
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ValueError, match="known: .*inline.*threads"):
+            make_transport("carrier-pigeon")
+
+    def test_inline_rejects_arguments(self):
+        with pytest.raises(ValueError, match="takes no argument"):
+            make_transport("inline:4")
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            make_transport("threads(n=2,color=red)")
+
+    def test_instance_passes_through(self):
+        tr = InProcessTransport()
+        assert make_transport(tr) is tr
